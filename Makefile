@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all test vet bench figures table1 results clean
+
+all: test vet
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+bench:
+	GOMAXPROCS=1 $(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every recorded artifact under results/.
+results:
+	GOMAXPROCS=1 $(GO) run ./cmd/imb -fig all -iters 1 > results/figures.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/asp -sample 512 > results/table1.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/imb -ablation -iters 2 > results/ablations.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/imb -scalability -machine IG -op bcast -sizes 1M -iters 2 > results/scalability.txt
+
+clean:
+	$(GO) clean ./...

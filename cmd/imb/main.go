@@ -1,0 +1,183 @@
+// Command imb regenerates the paper's synthetic benchmark figures (Fig. 4
+// through Fig. 8 and the §VI-C Scatter comparison) on the simulated
+// platforms, printing normalized-runtime tables in the paper's format.
+//
+// Usage:
+//
+//	imb -fig 5              # Figure 5 (Broadcast, all four machines)
+//	imb -fig all            # every figure
+//	imb -op gather -machine IG -sizes 1M,8M   # ad-hoc sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/topology"
+)
+
+var jsonOut bool
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, scatter, all")
+	scal := flag.Bool("scalability", false, "core-count scaling sweep (op, machine, sizes flags apply)")
+	ablation := flag.Bool("ablation", false, "A/B measurements of the component's design choices")
+	op := flag.String("op", "", "ad-hoc sweep: bcast, gather, scatter, allgather, alltoall, alltoallv")
+	machine := flag.String("machine", "IG", "machine for ad-hoc sweeps: Zoot, Dancer, Saturn, IG, or a machine-description file")
+	np := flag.Int("np", 0, "ranks (default: all cores)")
+	sizes := flag.String("sizes", "", "comma-separated sizes for ad-hoc sweeps (e.g. 32K,1M,8M)")
+	iters := flag.Int("iters", 3, "measured iterations per point")
+	asJSON := flag.Bool("json", false, "emit figures as JSON instead of tables")
+	comps := flag.String("comps", "", "comma-separated components for ad-hoc sweeps (default: the paper's five); options: Tuned-SM, Tuned-KNEM, MPICH2-SM, MPICH2-KNEM, KNEM-Coll, Basic-SM, SM-Coll")
+	flag.Parse()
+	jsonOut = *asJSON
+
+	switch {
+	case *ablation:
+		bench.RenderAblations(os.Stdout, bench.RunAblations(*iters))
+	case *scal:
+		runScalability(*op, *machine, *sizes, *iters)
+	case *fig != "":
+		runFigures(*fig, *iters)
+	case *op != "":
+		runSweep(*op, *machine, *np, *sizes, *iters, *comps)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigures(which string, iters int) {
+	figs := map[string]func(int) bench.Figure{
+		"4":       bench.Fig4,
+		"5":       bench.Fig5,
+		"6":       bench.Fig6,
+		"7":       bench.Fig7,
+		"8":       bench.Fig8,
+		"scatter": bench.ScatterFigure,
+	}
+	emit := func(f bench.Figure) {
+		if jsonOut {
+			if err := f.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "imb:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		f.Render(os.Stdout)
+	}
+	if which == "all" {
+		for _, k := range []string{"4", "5", "6", "scatter", "7", "8"} {
+			emit(figs[k](iters))
+		}
+		return
+	}
+	f, ok := figs[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "imb: unknown figure %q\n", which)
+		os.Exit(2)
+	}
+	emit(f(iters))
+}
+
+func runSweep(op, machine string, np int, sizeList string, iters int, compList string) {
+	m, err := topology.LoadMachine(machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imb:", err)
+		os.Exit(2)
+	}
+	if np == 0 {
+		np = m.NCores()
+	}
+	szs := bench.PaperSizes()
+	if sizeList != "" {
+		szs = nil
+		for _, s := range strings.Split(sizeList, ",") {
+			szs = append(szs, parseSize(s))
+		}
+	}
+	panel := bench.Panel{
+		Title:    fmt.Sprintf("%s on %s (np=%d)", op, m.Name, np),
+		Machine:  m.Name,
+		Baseline: "KNEM-Coll",
+		Sizes:    szs,
+	}
+	for _, c := range pickComps(compList) {
+		s := bench.Series{Label: c.Name, Seconds: map[int64]float64{}}
+		for _, sz := range szs {
+			res := bench.MustMeasure(bench.Config{
+				Machine: m, NP: np, Comp: c, Op: bench.Op(op), Size: sz,
+				Iters: iters, OffCache: true,
+			})
+			s.Seconds[sz] = res.Seconds
+		}
+		panel.Series = append(panel.Series, s)
+	}
+	panel.Render(os.Stdout)
+}
+
+func parseSize(s string) int64 {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imb: bad size %q\n", s)
+		os.Exit(2)
+	}
+	return v * mult
+}
+
+func runScalability(op, machine, sizeList string, iters int) {
+	if op == "" {
+		op = "bcast"
+	}
+	m, err := topology.LoadMachine(machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imb:", err)
+		os.Exit(2)
+	}
+	size := int64(1 << 20)
+	if sizeList != "" {
+		size = parseSize(strings.Split(sizeList, ",")[0])
+	}
+	var ranks []int
+	for np := 2; np < m.NCores(); np *= 2 {
+		ranks = append(ranks, np)
+	}
+	ranks = append(ranks, m.NCores())
+	s := bench.RunScalability(m, bench.Op(op), size, ranks,
+		[]bench.Comp{bench.TunedSM(), bench.TunedKNEM(), bench.KNEMColl()}, iters)
+	s.Render(os.Stdout)
+}
+
+func pickComps(list string) []bench.Comp {
+	if list == "" {
+		return bench.PaperComponents()
+	}
+	byName := map[string]bench.Comp{}
+	for _, c := range append(bench.PaperComponents(), bench.BasicSM(), bench.SMColl()) {
+		byName[strings.ToLower(c.Name)] = c
+	}
+	var out []bench.Comp
+	for _, name := range strings.Split(list, ",") {
+		c, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "imb: unknown component %q\n", name)
+			os.Exit(2)
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Command topo inspects the simulated hardware models: the four platforms
+// of the paper's §VI-A (Zoot, Dancer, Saturn, IG), their cores, caches,
+// NUMA domains, links, and domain distance matrices — the information the
+// collective component derives its hierarchy from (hwloc's role, §IV).
+//
+// Usage:
+//
+//	topo              # summary of all four machines
+//	topo -machine IG  # full detail for one machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	machine := flag.String("machine", "", "built-in machine or description file to detail (default: summarize all)")
+	flag.Parse()
+
+	if *machine == "" {
+		for _, name := range []string{"Zoot", "Dancer", "Saturn", "IG"} {
+			summarize(topology.ByName(name))
+		}
+		return
+	}
+	m, err := topology.LoadMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(2)
+	}
+	detail(m)
+}
+
+func summarize(m *topology.Machine) {
+	fmt.Printf("%-8s %3d cores, %d NUMA domains, %d cache groups, %d links, max domain distance %d\n",
+		m.Name, m.NCores(), len(m.Domains), len(m.Groups), len(m.Links), m.MaxDomainDistance())
+}
+
+func detail(m *topology.Machine) {
+	summarize(m)
+	fmt.Printf("  per-core copy engine %.1f GB/s, kernel trap %.0f ns, copy setup %.0f ns, pin %.0f ns/page, ctrl %.0f ns\n",
+		m.Spec.CoreCopyBW/1e9, m.Spec.KernelTrap*1e9, m.Spec.CopySetup*1e9, m.Spec.PinPerPage*1e9, m.Spec.CtrlLatency*1e9)
+	for _, d := range m.Domains {
+		cores := make([]int, 0, len(d.Cores))
+		for _, c := range d.Cores {
+			cores = append(cores, c.ID)
+		}
+		fmt.Printf("  domain %d: bus %.1f GB/s, cores %v\n", d.ID, d.Bus.BW/1e9, cores)
+	}
+	for _, g := range m.Groups {
+		cores := make([]int, 0, len(g.Cores))
+		for _, c := range g.Cores {
+			cores = append(cores, c.ID)
+		}
+		fmt.Printf("  cache group %d: %d KiB, port %.1f GB/s, cores %v\n", g.ID, g.Size>>10, g.Port.BW/1e9, cores)
+	}
+	fmt.Println("  interconnect links:")
+	seen := map[string]int{}
+	for _, l := range m.Links {
+		if strings.HasPrefix(l.Name, "mem") || strings.HasPrefix(l.Name, "core") ||
+			strings.HasPrefix(l.Name, "cache") || strings.HasPrefix(l.Name, "dma") {
+			continue
+		}
+		seen[fmt.Sprintf("%s @ %.1f GB/s", l.Name, l.BW/1e9)]++
+	}
+	for k, v := range seen {
+		fmt.Printf("    %d x %s\n", v, k)
+	}
+	fmt.Println("  domain distance matrix (hops):")
+	fmt.Print("      ")
+	for j := range m.Domains {
+		fmt.Printf("%3d", j)
+	}
+	fmt.Println()
+	for i, a := range m.Domains {
+		fmt.Printf("    %2d", i)
+		for _, b := range m.Domains {
+			fmt.Printf("%3d", m.DomainDistance(a, b))
+		}
+		fmt.Println()
+		_ = i
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a full reproduction, in pure Go, of "Kernel Assisted
+// Collective Intra-node MPI Communication Among Multi-core and Many-core
+// CPUs" (Ma, Bosilca, Bouteiller, Goglin, Squyres, Dongarra — ICPP 2011).
+//
+// Because the paper's subject is a Linux kernel module driven from an MPI
+// library on specific NUMA hardware, the reproduction is built on a
+// deterministic simulation of that stack (see DESIGN.md for the
+// substitution argument):
+//
+//   - internal/sim      — discrete-event engine, cooperative virtual-time processes
+//   - internal/topology — the four evaluation machines (Zoot, Dancer, Saturn, IG)
+//   - internal/memsim   — flow-level memory system: max-min fair link sharing,
+//     coherent LRU caches, write hits, dirty interventions
+//   - internal/shm      — copy-in/copy-out shared-memory transport + OOB channel
+//   - internal/knem     — the KNEM kernel module: persistent regions, cookies,
+//     direction and granularity control, DMA offload
+//   - internal/mpi      — MPI runtime: ranks, tag matching, eager/rendezvous
+//     point-to-point over SM or KNEM, collective dispatch
+//   - internal/coll/... — baseline components: Basic, Open MPI Tuned, MPICH2,
+//     Graham et al. fan-in/fan-out
+//   - internal/core     — KNEM-Coll, the paper's contribution
+//   - internal/asp      — the ASP Floyd-Warshall showcase application
+//   - internal/bench    — the IMB-style harness regenerating Figures 4-8 and Table I
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/imb and cmd/asp print them in the paper's format.
+package repro

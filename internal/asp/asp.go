@@ -1,0 +1,279 @@
+// Package asp implements the paper's showcase application (§VI-E): ASP, a
+// parallel Floyd-Warshall solver for the all-pairs-shortest-path problem
+// (Plaat et al. [18]). The distance matrix is distributed by rows across
+// the ranks; at iteration k the owner of row k broadcasts it (MPI_Bcast is
+// the application's dominant collective) and every rank relaxes its own
+// rows against it.
+//
+// Two execution modes:
+//
+//   - Real: the matrix carries actual int32 distances and the result is
+//     verifiable against the sequential solver — used by tests at small n.
+//
+//   - Virtual: buffers are phantom and the relaxation is charged to the
+//     simulated clock instead of executed, so the paper-scale runs
+//     (16384^2 on Zoot, 32768^2 on IG) complete quickly. A sample of the
+//     iterations can be simulated and scaled up, which is accurate because
+//     every Floyd-Warshall iteration moves the same bytes and does the
+//     same work.
+package asp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Inf is the "no edge" distance. It is far below MaxInt32 so additions
+// cannot overflow.
+const Inf int32 = 1 << 29
+
+// Config parameterizes one ASP run.
+type Config struct {
+	// N is the matrix dimension (N rows, N columns of int32).
+	N int
+	// Virtual runs with phantom buffers and charged compute.
+	Virtual bool
+	// CellOps is the charged cost, in machine "ops", of relaxing one
+	// cell in virtual mode. The Floyd-Warshall inner loop is memory
+	// bound, not flops bound; ~45 ops/cell at the machines' nominal
+	// rates reproduces the per-iteration compute times implied by the
+	// paper's Table I on both Zoot and IG.
+	CellOps float64
+	// SampleIters > 0 simulates only that many of the N iterations in
+	// virtual mode and scales the measured times by N/SampleIters.
+	SampleIters int
+	// Jitter is the relative spread of per-rank per-iteration relaxation
+	// cost (default 0.3). Floyd-Warshall's inner loop skips rows whose
+	// dist(i,k) is still infinite, so the real per-rank work is uneven
+	// and varies by iteration; broadcast time then mostly absorbs this
+	// skew. Tree-shaped broadcasts cascade stragglers along the tree
+	// while the flat KNEM read only ever waits for the owner — the
+	// reason the application gains more from KNEM-Coll than the
+	// perfectly synchronized off-cache benchmark does (§VI-E).
+	// Set negative to disable.
+	Jitter float64
+	// Seed generates the random graph and the jitter stream.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.CellOps == 0 {
+		c.CellOps = 45
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.3
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.SampleIters == 0 || c.SampleIters > c.N || !c.Virtual {
+		c.SampleIters = c.N
+	}
+}
+
+// Result reports per-rank times; Table I's "Bcast" column is the time
+// spent inside MPI_Bcast and "Total" the whole solve.
+type Result struct {
+	BcastSeconds float64
+	TotalSeconds float64
+	// Rows is this rank's row range [Lo, Hi).
+	Lo, Hi int
+	// Dist holds this rank's rows of the solved matrix in real mode
+	// (row-major int32, little endian), nil in virtual mode.
+	Dist []int32
+}
+
+// RowRange returns the block row partition for rank of p.
+func RowRange(n, rank, p int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// OwnerOf returns the rank owning row k under the block partition.
+func OwnerOf(n, k, p int) int {
+	for r := 0; r < p; r++ {
+		lo, hi := RowRange(n, r, p)
+		if k >= lo && k < hi {
+			return r
+		}
+	}
+	panic("asp: row out of range")
+}
+
+// Generate builds a random directed weighted graph's distance matrix
+// (row-major, n x n): weight 1..99 with density ~1/4, Inf otherwise,
+// 0 on the diagonal.
+func Generate(n int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				m[i*n+j] = 0
+			case rng.Intn(4) == 0:
+				m[i*n+j] = int32(rng.Intn(99) + 1)
+			default:
+				m[i*n+j] = Inf
+			}
+		}
+	}
+	return m
+}
+
+// Sequential solves all-pairs-shortest-paths in place and returns m.
+func Sequential(m []int32, n int) []int32 {
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := m[i*n+k]
+			if ik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := ik + m[k*n+j]; d < m[i*n+j] {
+					m[i*n+j] = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Run executes the distributed solve as rank r's SPMD body. In real mode
+// the full matrix is passed via cfg-independent init: every rank extracts
+// its rows from init (which must be identical on all ranks); pass nil in
+// virtual mode.
+func Run(r *mpi.Rank, cfg Config, init []int32) Result {
+	cfg.fill()
+	n := cfg.N
+	p := r.Size()
+	lo, hi := RowRange(n, r.ID(), p)
+	res := Result{Lo: lo, Hi: hi}
+	rowBytes := int64(4 * n)
+
+	var block *memsim.Buffer // my rows
+	if cfg.Virtual {
+		block = r.Alloc(int64(hi-lo) * rowBytes)
+		if block.Data != nil {
+			// Worlds created WithData still work; data is just unused.
+			block.Data = nil
+		}
+	} else {
+		if len(init) != n*n {
+			panic(fmt.Sprintf("asp: init matrix has %d cells, want %d", len(init), n*n))
+		}
+		block = r.AllocData(int64(hi-lo) * rowBytes)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				putCell(block.Data, (i-lo)*n+j, init[i*n+j])
+			}
+		}
+	}
+	rowBuf := r.Alloc(rowBytes)
+	if !cfg.Virtual && rowBuf.Data == nil {
+		rowBuf = r.AllocData(rowBytes)
+	}
+
+	scale := float64(n) / float64(cfg.SampleIters)
+	start := r.Now()
+	var bcast sim.Time
+	for k := 0; k < cfg.SampleIters; k++ {
+		owner := OwnerOf(n, k, p)
+		var rowView memsim.View
+		if owner == r.ID() {
+			rowView = block.View(int64(k-lo)*rowBytes, rowBytes)
+		} else {
+			rowView = rowBuf.Whole()
+		}
+		t0 := r.Now()
+		r.Bcast(rowView, owner)
+		bcast += r.Now() - t0
+
+		if cfg.Virtual {
+			r.Compute(relaxCost(cfg, r.ID(), k, hi-lo, n))
+			touchRelax(r, block, rowView)
+			continue
+		}
+		row := rowView.Bytes()
+		for i := lo; i < hi; i++ {
+			ik := getCell(block.Data, (i-lo)*n+k)
+			if ik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				kj := getCell(row, j)
+				if d := ik + kj; d < getCell(block.Data, (i-lo)*n+j) {
+					putCell(block.Data, (i-lo)*n+j, d)
+				}
+			}
+		}
+		// Charge the relaxation to the simulated clock in real mode too,
+		// so timings stay meaningful at test scale.
+		r.Compute(relaxCost(cfg, r.ID(), k, hi-lo, n))
+		touchRelax(r, block, rowView)
+	}
+	res.BcastSeconds = bcast * scale
+	res.TotalSeconds = (r.Now() - start) * scale
+	if !cfg.Virtual {
+		res.Dist = make([]int32, (hi-lo)*n)
+		for c := range res.Dist {
+			res.Dist[c] = getCell(block.Data, c)
+		}
+	}
+	return res
+}
+
+// relaxCost returns the charged cost of one relaxation phase, with a
+// deterministic per-(rank, iteration) spread around the mean.
+func relaxCost(cfg Config, rank, k, rows, n int) float64 {
+	mean := float64(rows) * float64(n) * cfg.CellOps
+	return mean * (1 + cfg.Jitter*unitNoise(cfg.Seed, rank, k))
+}
+
+// unitNoise hashes (seed, rank, k) into [-1, 1) (splitmix64-style).
+func unitNoise(seed int64, rank, k int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(rank+1)*0xBF58476D1CE4E5B9 + uint64(k+1)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return 2*float64(x>>11)/float64(1<<53) - 1
+}
+
+// touchRelax reports the relaxation's cache footprint: the rank's whole
+// row block streams through (usually far larger than the cache, so it
+// pollutes), while the broadcast row is re-read for every cell and stays
+// resident — the locality difference behind the paper's observation that
+// the application benefits more from KNEM than the off-cache synthetic
+// benchmark does (§VI-E).
+func touchRelax(r *mpi.Rank, block *memsim.Buffer, rowView memsim.View) {
+	r.TouchCache(block.Whole(), true)
+	r.TouchCache(rowView, false)
+}
+
+func putCell(b []byte, idx int, v int32) {
+	binary.LittleEndian.PutUint32(b[idx*4:], uint32(v))
+}
+
+func getCell(b []byte, idx int) int32 {
+	return int32(binary.LittleEndian.Uint32(b[idx*4:]))
+}

@@ -1,0 +1,198 @@
+package asp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coll/tuned"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func TestRowRangePartition(t *testing.T) {
+	f := func(nn, pp uint8) bool {
+		n := int(nn)%500 + 1
+		p := int(pp)%16 + 1
+		covered := 0
+		prevHi := 0
+		for r := 0; r < p; r++ {
+			lo, hi := RowRange(n, r, p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerOfConsistent(t *testing.T) {
+	n, p := 97, 8
+	for k := 0; k < n; k++ {
+		r := OwnerOf(n, k, p)
+		lo, hi := RowRange(n, r, p)
+		if k < lo || k >= hi {
+			t.Fatalf("row %d assigned to rank %d [%d,%d)", k, r, lo, hi)
+		}
+	}
+}
+
+func TestSequentialKnownGraph(t *testing.T) {
+	// 0 -> 1 (5), 1 -> 2 (3), 0 -> 2 (directly 100): shortest 0->2 is 8.
+	n := 3
+	m := make([]int32, n*n)
+	for i := range m {
+		m[i] = Inf
+	}
+	m[0], m[4], m[8] = 0, 0, 0
+	m[0*n+1] = 5
+	m[1*n+2] = 3
+	m[0*n+2] = 100
+	Sequential(m, n)
+	if m[0*n+2] != 8 {
+		t.Fatalf("dist(0,2) = %d, want 8", m[0*n+2])
+	}
+}
+
+// The distributed solve must equal the sequential solve for every
+// component, machine, and rank count.
+func TestDistributedMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		mach *topology.Machine
+		np   int
+		coll func(w *mpi.World) mpi.Coll
+	}{
+		{"tuned-dancer", topology.Dancer(), 8, tuned.New},
+		{"knem-dancer", topology.Dancer(), 8, core.New},
+		{"knem-linear-zoot", topology.Zoot(), 16, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear})
+		}},
+		{"knem-hier-ig", topology.IG(), 12, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeHierarchical})
+		}},
+		{"knem-dancer-np5", topology.Dancer(), 5, core.New},
+	}
+	const n = 48
+	want := Sequential(Generate(n, 7), n)
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			init := Generate(n, 7)
+			results := make([]Result, c.np)
+			_, _, err := mpi.Run(mpi.Options{
+				Machine: c.mach, NP: c.np, Coll: c.coll, WithData: true,
+			}, func(r *mpi.Rank) {
+				results[r.ID()] = Run(r, Config{N: n}, init)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rank, res := range results {
+				lo, hi := RowRange(n, rank, c.np)
+				if res.Lo != lo || res.Hi != hi {
+					t.Fatalf("rank %d range [%d,%d), want [%d,%d)", rank, res.Lo, res.Hi, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					for j := 0; j < n; j++ {
+						if res.Dist[(i-lo)*n+j] != want[i*n+j] {
+							t.Fatalf("rank %d: dist(%d,%d) = %d, want %d",
+								rank, i, j, res.Dist[(i-lo)*n+j], want[i*n+j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Property: distributed result matches sequential for random graphs.
+func TestDistributedProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%24 + 8
+		want := Sequential(Generate(n, seed), n)
+		ok := true
+		_, _, err := mpi.Run(mpi.Options{
+			Machine: topology.Dancer(), NP: 4, Coll: core.New, WithData: true,
+		}, func(r *mpi.Rank) {
+			res := Run(r, Config{N: n, Seed: seed}, Generate(n, seed))
+			for i := res.Lo; i < res.Hi; i++ {
+				for j := 0; j < n; j++ {
+					if res.Dist[(i-res.Lo)*n+j] != want[i*n+j] {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Virtual mode with sampling must report times consistent with the
+// unsampled run (same per-iteration cost, scaled).
+func TestVirtualSamplingScales(t *testing.T) {
+	run := func(sample int) (bcast, total float64) {
+		const n = 256
+		_, _, err := mpi.Run(mpi.Options{
+			Machine: topology.Dancer(), NP: 8, Coll: core.New,
+		}, func(r *mpi.Rank) {
+			res := Run(r, Config{N: n, Virtual: true, SampleIters: sample, Jitter: -1}, nil)
+			if r.ID() == 0 {
+				bcast, total = res.BcastSeconds, res.TotalSeconds
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	b1, t1 := run(0)  // full
+	b2, t2 := run(64) // sampled 4x
+	if t2 == 0 || t1 == 0 {
+		t.Fatal("zero times")
+	}
+	if ratio := t2 / t1; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("sampled total off by %.2fx (t1=%g t2=%g)", ratio, t1, t2)
+	}
+	if ratio := b2 / b1; ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("sampled bcast off by %.2fx", ratio)
+	}
+}
+
+// The KNEM component must spend less time in Bcast than Tuned-SM — the
+// Table I effect.
+func TestKnemBcastTimeBeatsTuned(t *testing.T) {
+	measure := func(coll func(w *mpi.World) mpi.Coll, btl mpi.BTLKind) float64 {
+		var bc float64
+		_, _, err := mpi.Run(mpi.Options{
+			Machine: topology.Zoot(), NP: 16, BTL: btl, Coll: coll,
+		}, func(r *mpi.Rank) {
+			res := Run(r, Config{N: 16384, Virtual: true, SampleIters: 24}, nil)
+			if res.BcastSeconds > bc {
+				bc = res.BcastSeconds
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bc
+	}
+	tunedTime := measure(tuned.New, mpi.BTLSM)
+	knemTime := measure(func(w *mpi.World) mpi.Coll {
+		return core.NewWithConfig(w, core.Config{LazySync: true})
+	}, mpi.BTLSM)
+	if knemTime >= tunedTime {
+		t.Fatalf("KNEM bcast time %g >= Tuned-SM %g", knemTime, tunedTime)
+	}
+	if tunedTime/knemTime < 2 {
+		t.Fatalf("KNEM bcast improvement only %.2fx; Table I shows several-fold", tunedTime/knemTime)
+	}
+}

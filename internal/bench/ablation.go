@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out, each as an
+// A/B measurement on the platform where it matters.
+
+// AblationRow is one A/B comparison.
+type AblationRow struct {
+	Name    string
+	A, B    string
+	SecsA   float64
+	SecsB   float64
+	Speedup float64 // A/B: how much the design choice (B) wins
+}
+
+// RunAblations measures every documented design choice.
+func RunAblations(iters int) []AblationRow {
+	ig := topology.IG()
+	rows := []AblationRow{}
+	add := func(name, a, b string, sa, sb float64) {
+		rows = append(rows, AblationRow{Name: name, A: a, B: b, SecsA: sa, SecsB: sb, Speedup: sa / sb})
+	}
+
+	// 1. Broadcast topology (§IV): linear vs hierarchical vs pipelined.
+	lin := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("lin", core.Config{Mode: core.ModeLinear}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true})
+	hier := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("hier", core.Config{Mode: core.ModeHierarchical, NoPipeline: true}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true})
+	pipe := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("pipe", core.Config{Mode: core.ModeHierarchical}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true})
+	add("bcast topology (IG, 2MiB)", "linear", "hierarchical", lin.Seconds, hier.Seconds)
+	add("bcast pipelining (IG, 2MiB)", "no pipeline", "pipelined", hier.Seconds, pipe.Seconds)
+
+	// 1b. Multi-level tree (the paper's future work): boards, then NUMA
+	// domains, then cores.
+	multi := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("multi", core.Config{Mode: core.ModeMultiLevel}), Op: OpBcast, Size: 8 * MiB, Iters: iters, OffCache: true})
+	pipe8 := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("pipe8", core.Config{Mode: core.ModeHierarchical}), Op: OpBcast, Size: 8 * MiB, Iters: iters, OffCache: true})
+	add("bcast tree depth (IG, 8MiB)", "2-level (paper)", "3-level (future work)", pipe8.Seconds, multi.Seconds)
+
+	// 2. Allgather composition vs ring (§VI-D).
+	comp := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("g+b", core.Config{}), Op: OpAllgather, Size: 256 * KiB, Iters: iters, OffCache: true})
+	ring := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("ring", core.Config{RingAllgather: true}), Op: OpAllgather, Size: 256 * KiB, Iters: iters, OffCache: true})
+	add("allgather (IG, 256KiB blocks)", "gather+bcast", "ring", comp.Seconds, ring.Seconds)
+
+	// 3. Direction control (§III-B): gather with sender-writes vs the same
+	// pattern forced through receiver-side point-to-point (Tuned-KNEM).
+	dirOn := MustMeasure(Config{Machine: ig, Comp: KNEMColl(), Op: OpGather, Size: 256 * KiB, Iters: iters, OffCache: true})
+	dirOff := MustMeasure(Config{Machine: ig, Comp: TunedKNEM(), Op: OpGather, Size: 256 * KiB, Iters: iters, OffCache: true})
+	add("gather direction control (IG)", "p2p (root copies)", "sender-writes", dirOff.Seconds, dirOn.Seconds)
+
+	// 4. Related work (§II): the Graham et al. fan-in/fan-out SM tree —
+	// topology-oblivious and double-copying — against KNEM-Coll.
+	smc := MustMeasure(Config{Machine: ig, Comp: SMColl(), Op: OpBcast, Size: 1 * MiB, Iters: iters, OffCache: true})
+	knm := MustMeasure(Config{Machine: ig, Comp: KNEMColl(), Op: OpBcast, Size: 1 * MiB, Iters: iters, OffCache: true})
+	add("vs Graham SM tree (IG bcast 1MiB)", "SM fan-out", "KNEM hierarchy", smc.Seconds, knm.Seconds)
+
+	// 5. Lazy root synchronization under skew: a straggling receiver
+	// arrives 1 ms late; the strict root absorbs it, the lazy one does not.
+	rows = append(rows, lazySyncAblation())
+	return rows
+}
+
+func lazySyncAblation() AblationRow {
+	m := topology.Dancer()
+	measure := func(lazy bool) float64 {
+		var rootTime float64
+		_, _, err := mpi.Run(mpi.Options{
+			Machine: m,
+			Coll: func(w *mpi.World) mpi.Coll {
+				return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear, LazySync: lazy})
+			},
+		}, func(r *mpi.Rank) {
+			b := r.Alloc(1 << 20)
+			if r.ID() == 7 {
+				r.Sleep(1e-3)
+			}
+			t0 := r.Now()
+			r.Bcast(b.Whole(), 0)
+			if r.ID() == 0 {
+				rootTime = r.Now() - t0
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			panic(err)
+		}
+		return rootTime
+	}
+	a, b := measure(false), measure(true)
+	return AblationRow{
+		Name: "root sync under 1ms straggler", A: "strict (§V-B)", B: "lazy (§III-B)",
+		SecsA: a, SecsB: b, Speedup: a / b,
+	}
+}
+
+// RenderAblations prints the table.
+func RenderAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "## Design-choice ablations")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-36s %-18s %9.1fus   %-18s %9.1fus   %6.2fx\n",
+			r.Name, r.A, r.SecsA*1e6, r.B, r.SecsB*1e6, r.Speedup)
+	}
+}

@@ -1,0 +1,271 @@
+// Package bench is the measurement harness reproducing the paper's
+// evaluation (§VI): an IMB-3.2-style protocol (barrier, timed operation,
+// off-cache flushing between iterations, max-over-ranks timing), the five
+// compared configurations (Tuned-SM, Tuned-KNEM, MPICH2-SM, MPICH2-KNEM,
+// KNEM-Coll), and series builders for every figure and table.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/coll/basic"
+	"repro/internal/coll/mpich2"
+	"repro/internal/coll/smcoll"
+	"repro/internal/coll/tuned"
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/shm"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Op identifies a collective operation under measurement.
+type Op string
+
+// Operations covered by the paper's evaluation.
+const (
+	OpBcast     Op = "bcast"
+	OpGather    Op = "gather"
+	OpScatter   Op = "scatter"
+	OpAllgather Op = "allgather"
+	OpAlltoall  Op = "alltoall"
+	OpAlltoallv Op = "alltoallv"
+	OpBarrier   Op = "barrier"
+	// OpPingPong is the classic two-rank latency/bandwidth probe (rank 0
+	// and the last rank exchange one message each way; reported time is
+	// the half round trip). Other ranks idle.
+	OpPingPong Op = "pingpong"
+)
+
+// Comp names one measured configuration: a collective component teamed
+// with a point-to-point BTL.
+type Comp struct {
+	Name string
+	BTL  mpi.BTLKind
+	// KnemMin is the BTL's KNEM activation threshold (MPICH2's LMT uses
+	// 64 KiB; Open MPI uses KNEM for every rendezvous message).
+	KnemMin int64
+	New     func(w *mpi.World) mpi.Coll
+}
+
+// PaperComponents returns the five configurations of Figures 5-8, in the
+// paper's legend order.
+func PaperComponents() []Comp {
+	return []Comp{
+		TunedSM(), TunedKNEM(), MPICH2SM(), MPICH2KNEM(), KNEMColl(),
+	}
+}
+
+// TunedSM is Open MPI's default: Tuned collectives over copy-in/copy-out.
+func TunedSM() Comp { return Comp{Name: "Tuned-SM", BTL: mpi.BTLSM, New: tuned.New} }
+
+// TunedKNEM is Tuned over KNEM point-to-point rendezvous.
+func TunedKNEM() Comp { return Comp{Name: "Tuned-KNEM", BTL: mpi.BTLKNEM, New: tuned.New} }
+
+// MPICH2SM is MPICH2 collectives over Nemesis shared memory.
+func MPICH2SM() Comp { return Comp{Name: "MPICH2-SM", BTL: mpi.BTLSM, New: mpich2.New} }
+
+// MPICH2KNEM is MPICH2 over the KNEM LMT.
+func MPICH2KNEM() Comp {
+	return Comp{Name: "MPICH2-KNEM", BTL: mpi.BTLKNEM, KnemMin: 64 << 10, New: mpich2.New}
+}
+
+// KNEMColl is the paper's component (§V) with default configuration.
+func KNEMColl() Comp { return Comp{Name: "KNEM-Coll", BTL: mpi.BTLSM, New: core.New} }
+
+// KNEMCollCfg is the paper's component with explicit configuration.
+func KNEMCollCfg(name string, cfg core.Config) Comp {
+	return Comp{Name: name, BTL: mpi.BTLSM, New: func(w *mpi.World) mpi.Coll { return core.NewWithConfig(w, cfg) }}
+}
+
+// BasicSM is the linear reference component (ablation).
+func BasicSM() Comp { return Comp{Name: "Basic-SM", BTL: mpi.BTLSM, New: basic.New} }
+
+// SMColl is the Graham et al. fan-in/fan-out component (related work).
+func SMColl() Comp { return Comp{Name: "SM-Coll", BTL: mpi.BTLSM, New: smcoll.New} }
+
+// Config describes one measurement.
+type Config struct {
+	Machine *topology.Machine
+	// NP defaults to the machine's core count (the paper fills nodes).
+	NP   int
+	Comp Comp
+	Op   Op
+	// Size follows IMB conventions: Bcast — the broadcast length;
+	// Gather/Scatter/Allgather — the per-rank block; Alltoall(v) — the
+	// per-pair block.
+	Size int64
+	// Iters measured iterations after one warm-up (default 3).
+	Iters int
+	// OffCache flushes all caches before every iteration (IMB's
+	// -off_cache), isolating memory-system behaviour from cache reuse.
+	OffCache bool
+	// Root for rooted operations (default 0).
+	Root int
+}
+
+// shmConfig uses 128 KiB fragments for throughput benchmarks: large
+// messages are bandwidth-bound, and coarser fragments keep event counts
+// tractable on 48-core sweeps without changing contention behaviour.
+func shmConfig() shm.Config { return shm.Config{FragSize: 128 << 10} }
+
+// Result carries one measured point.
+type Result struct {
+	Config
+	// Seconds is the max-over-ranks mean time per operation.
+	Seconds float64
+	// Stats are the counters accumulated over the measured iterations.
+	Stats trace.Stats
+}
+
+// Measure runs one configuration and returns its timing.
+func Measure(cfg Config) (Result, error) {
+	if cfg.NP == 0 {
+		cfg.NP = cfg.Machine.NCores()
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 3
+	}
+	perRank := make([]float64, cfg.NP)
+	stats := &trace.Stats{}
+	_, _, err := mpi.Run(mpi.Options{
+		Machine: cfg.Machine,
+		NP:      cfg.NP,
+		BTL:     cfg.Comp.BTL,
+		KnemMin: cfg.Comp.KnemMin,
+		SHM:     shmConfig(),
+		Coll:    cfg.Comp.New,
+		Stats:   stats,
+	}, func(r *mpi.Rank) {
+		bufs := prepare(r, cfg)
+		var total float64
+		for it := -1; it < cfg.Iters; it++ { // it==-1 is the warm-up
+			r.Barrier()
+			if cfg.OffCache {
+				if r.ID() == 0 {
+					r.World().Net().FlushCaches()
+				}
+				r.Barrier()
+			}
+			if it == 0 {
+				stats.Reset()
+			}
+			t0 := r.Now()
+			runOp(r, cfg, bufs)
+			if it >= 0 {
+				total += r.Now() - t0
+			}
+		}
+		perRank[r.ID()] = total / float64(cfg.Iters)
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s/%s/%s/%d: %w", cfg.Machine.Name, cfg.Comp.Name, cfg.Op, cfg.Size, err)
+	}
+	res := Result{Config: cfg, Seconds: 0, Stats: *stats}
+	for _, v := range perRank {
+		if v > res.Seconds {
+			res.Seconds = v
+		}
+	}
+	return res, nil
+}
+
+// MustMeasure is Measure, panicking on simulation failure (used by the
+// figure builders, where any deadlock is a bug).
+func MustMeasure(cfg Config) Result {
+	r, err := Measure(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// opBufs holds the per-rank buffers for one op.
+type opBufs struct {
+	send, recv     memsim.View
+	counts, displs []int64
+}
+
+func prepare(r *mpi.Rank, cfg Config) opBufs {
+	p := int64(r.Size())
+	var b opBufs
+	switch cfg.Op {
+	case OpBcast:
+		b.send = r.Alloc(cfg.Size).Whole()
+	case OpGather:
+		b.send = r.Alloc(cfg.Size).Whole()
+		if r.ID() == cfg.Root {
+			b.recv = r.Alloc(p * cfg.Size).Whole()
+		}
+	case OpScatter:
+		if r.ID() == cfg.Root {
+			b.send = r.Alloc(p * cfg.Size).Whole()
+		}
+		b.recv = r.Alloc(cfg.Size).Whole()
+	case OpAllgather:
+		b.send = r.Alloc(cfg.Size).Whole()
+		b.recv = r.Alloc(p * cfg.Size).Whole()
+	case OpAlltoall, OpAlltoallv:
+		b.send = r.Alloc(p * cfg.Size).Whole()
+		b.recv = r.Alloc(p * cfg.Size).Whole()
+		b.counts = make([]int64, p)
+		b.displs = make([]int64, p)
+		for i := range b.counts {
+			b.counts[i] = cfg.Size
+			b.displs[i] = int64(i) * cfg.Size
+		}
+	case OpBarrier:
+	case OpPingPong:
+		b.send = r.Alloc(cfg.Size).Whole()
+		b.recv = r.Alloc(cfg.Size).Whole()
+	default:
+		panic("bench: unknown op " + string(cfg.Op))
+	}
+	return b
+}
+
+func runOp(r *mpi.Rank, cfg Config, b opBufs) {
+	switch cfg.Op {
+	case OpBcast:
+		r.Bcast(b.send, cfg.Root)
+	case OpGather:
+		r.Gather(b.send, b.recv, cfg.Root)
+	case OpScatter:
+		r.Scatter(b.send, b.recv, cfg.Root)
+	case OpAllgather:
+		r.Allgather(b.send, b.recv)
+	case OpAlltoall:
+		r.Alltoall(b.send, b.recv)
+	case OpAlltoallv:
+		r.Alltoallv(b.send, b.counts, b.displs, b.recv, b.counts, b.displs)
+	case OpBarrier:
+		r.Barrier()
+	case OpPingPong:
+		peer := r.Size() - 1
+		switch r.ID() {
+		case 0:
+			r.Send(peer, 1, b.send)
+			r.Recv(peer, 2, b.recv)
+		case peer:
+			r.Recv(0, 1, b.recv)
+			r.Send(0, 2, b.send)
+		}
+	}
+}
+
+// KiB/MiB helpers for size tables.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+)
+
+// PaperSizes is the x-axis of Figures 5-8: 32 KiB to 8 MiB.
+func PaperSizes() []int64 {
+	return []int64{32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB}
+}
+
+// Fig4Sizes is the x-axis of Figure 4: 512 KiB to 8 MiB.
+func Fig4Sizes() []int64 {
+	return []int64{512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// The simulator is bit-for-bit deterministic, so a handful of exact pinned
+// values catch unintended model drift (an accidental change to a bandwidth
+// constant, a protocol cost, routing, or the cache model shows up here
+// immediately). When a change is intentional, regenerate the values:
+//
+//	go test ./internal/bench -run TestGolden -v   # prints got values on failure
+func TestGoldenValues(t *testing.T) {
+	golden := []struct {
+		machine string
+		comp    string
+		op      Op
+		size    int64
+		want    float64
+	}{
+		{"Zoot", "Tuned-SM", OpBcast, 1048576, 7.806022928e-03},
+		{"Zoot", "KNEM-Coll", OpBcast, 1048576, 4.927240000e-03},
+		{"Dancer", "MPICH2-KNEM", OpGather, 262144, 4.991823333e-04},
+		{"Saturn", "Tuned-KNEM", OpAllgather, 65536, 1.132385067e-03},
+		{"IG", "KNEM-Coll", OpAlltoallv, 131072, 1.036342914e-02},
+		{"IG", "MPICH2-SM", OpScatter, 524288, 1.045690320e-02},
+	}
+	comps := map[string]Comp{
+		"Tuned-SM":    TunedSM(),
+		"Tuned-KNEM":  TunedKNEM(),
+		"MPICH2-SM":   MPICH2SM(),
+		"MPICH2-KNEM": MPICH2KNEM(),
+		"KNEM-Coll":   KNEMColl(),
+	}
+	for _, g := range golden {
+		res := MustMeasure(Config{
+			Machine: topology.ByName(g.machine), Comp: comps[g.comp],
+			Op: g.op, Size: g.size, Iters: 1, OffCache: true,
+		})
+		if math.Abs(res.Seconds-g.want) > 1e-9*g.want {
+			t.Errorf("%s/%s/%s/%d = %.9e, golden %.9e — model drift (regenerate if intentional)",
+				g.machine, g.comp, g.op, g.size, res.Seconds, g.want)
+		}
+	}
+}
+
+// Determinism: the same configuration measured twice gives the identical
+// simulated time.
+func TestMeasurementDeterminism(t *testing.T) {
+	cfg := Config{
+		Machine: topology.IG(), Comp: KNEMColl(), Op: OpBcast,
+		Size: 1 << 20, Iters: 2, OffCache: true,
+	}
+	a := MustMeasure(cfg)
+	b := MustMeasure(cfg)
+	if a.Seconds != b.Seconds {
+		t.Fatalf("nondeterministic: %.12e vs %.12e", a.Seconds, b.Seconds)
+	}
+}

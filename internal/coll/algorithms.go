@@ -1,0 +1,322 @@
+package coll
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Shared algorithm implementations used by the Tuned and MPICH2 components.
+// All operate over point-to-point messages; the topology-oblivious shapes
+// here are exactly the baselines the paper's KNEM component is measured
+// against.
+
+// SubtreeSize returns the number of virtual ranks in the binomial subtree
+// rooted at virtual rank v (p total).
+func SubtreeSize(v, p int) int {
+	if v == 0 {
+		return p
+	}
+	lsb := v & -v
+	if rem := p - v; rem < lsb {
+		return rem
+	}
+	return lsb
+}
+
+// BcastBinomial broadcasts v down the binomial tree in one piece.
+func BcastBinomial(r mpi.Ranker, v memsim.View, root, tag int) {
+	parent, children := BinomialChildren(r.ID(), root, r.Size())
+	if parent != -1 {
+		r.Recv(parent, tag, v)
+	}
+	var reqs []*mpi.Request
+	for _, c := range children {
+		reqs = append(reqs, r.Isend(c, tag, v))
+	}
+	r.Wait(reqs...)
+}
+
+// BcastTreePipelined streams v from the root down an arbitrary tree in
+// segments of seg bytes: each rank forwards segment s to its children as
+// soon as it arrives, overlapping with the reception of segment s+1.
+func BcastTreePipelined(r mpi.Ranker, v memsim.View, tag int, parent int, children []int, seg int64) {
+	var sends []*mpi.Request
+	if parent == -1 {
+		Segments(v.Len, seg, func(off, n int64) {
+			for _, c := range children {
+				sends = append(sends, r.Isend(c, tag, v.SubView(off, n)))
+			}
+		})
+		r.Wait(sends...)
+		return
+	}
+	var recvs []*mpi.Request
+	Segments(v.Len, seg, func(off, n int64) {
+		recvs = append(recvs, r.Irecv(parent, tag, v.SubView(off, n)))
+	})
+	i := 0
+	Segments(v.Len, seg, func(off, n int64) {
+		r.Wait(recvs[i])
+		i++
+		for _, c := range children {
+			sends = append(sends, r.Isend(c, tag, v.SubView(off, n)))
+		}
+	})
+	r.Wait(sends...)
+}
+
+// BcastChainPipelined streams v down the chain root -> root+1 -> ... in
+// segments (Open MPI's pipeline algorithm for large messages).
+func BcastChainPipelined(r mpi.Ranker, v memsim.View, root, tag int, seg int64) {
+	prev, next := ChainNext(r.ID(), root, r.Size())
+	var children []int
+	if next != -1 {
+		children = []int{next}
+	}
+	BcastTreePipelined(r, v, tag, prev, children, seg)
+}
+
+// BcastBinaryPipelined streams v down a balanced binary tree in segments
+// (stand-in for Open MPI's split-binary algorithm at intermediate sizes;
+// same tree depth and pipelining, without the final half-exchange).
+func BcastBinaryPipelined(r mpi.Ranker, v memsim.View, root, tag int, seg int64) {
+	parent, children := SplitBinaryParent(r.ID(), root, r.Size())
+	BcastTreePipelined(r, v, tag, parent, children, seg)
+}
+
+// GatherBinomial gathers equal blocks up the binomial tree, packing
+// subtree data in interior temporaries (MPICH2's gather for all sizes,
+// Open MPI Tuned's for small ones).
+func GatherBinomial(r mpi.Ranker, send, recv memsim.View, root, tag int) {
+	p := r.Size()
+	me := r.ID()
+	v := VRank(me, root, p)
+	blk := send.Len
+	if p == 1 {
+		r.LocalCopy(recv.SubView(0, blk), send)
+		return
+	}
+	sub := SubtreeSize(v, p)
+	parent, children := BinomialChildren(me, root, p)
+
+	if sub == 1 {
+		r.Send(parent, tag, send)
+		return
+	}
+	var temp memsim.View
+	var tempIsRecv bool
+	if v == 0 && root == 0 {
+		temp = recv.SubView(0, int64(p)*blk)
+		tempIsRecv = true
+	} else {
+		temp = r.Alloc(int64(sub) * blk).Whole()
+	}
+	r.LocalCopy(temp.SubView(0, blk), send)
+	var reqs []*mpi.Request
+	for _, c := range children {
+		cv := VRank(c, root, p)
+		cnt := int64(SubtreeSize(cv, p)) * blk
+		reqs = append(reqs, r.Irecv(c, tag, temp.SubView(int64(cv-v)*blk, cnt)))
+	}
+	r.Wait(reqs...)
+	if v != 0 {
+		r.Send(parent, tag, temp)
+		return
+	}
+	if !tempIsRecv {
+		// Root with rotated virtual order: place block vi at real rank.
+		for vi := 0; vi < p; vi++ {
+			r.LocalCopy(recv.SubView(int64(RRank(vi, root, p))*blk, blk), temp.SubView(int64(vi)*blk, blk))
+		}
+	}
+}
+
+// ScatterBinomial scatters equal blocks down the binomial tree.
+func ScatterBinomial(r mpi.Ranker, send, recv memsim.View, root, tag int) {
+	p := r.Size()
+	me := r.ID()
+	v := VRank(me, root, p)
+	blk := recv.Len
+	if p == 1 {
+		r.LocalCopy(recv, send.SubView(0, blk))
+		return
+	}
+	sub := SubtreeSize(v, p)
+	parent, children := BinomialChildren(me, root, p)
+
+	var temp memsim.View
+	switch {
+	case v == 0 && root == 0:
+		temp = send.SubView(0, int64(p)*blk)
+	case v == 0:
+		temp = r.Alloc(int64(p) * blk).Whole()
+		for vi := 0; vi < p; vi++ {
+			r.LocalCopy(temp.SubView(int64(vi)*blk, blk), send.SubView(int64(RRank(vi, root, p))*blk, blk))
+		}
+	case sub > 1:
+		temp = r.Alloc(int64(sub) * blk).Whole()
+		r.Recv(parent, tag, temp)
+	default:
+		r.Recv(parent, tag, recv)
+		return
+	}
+	var reqs []*mpi.Request
+	for _, c := range children {
+		cv := VRank(c, root, p)
+		cnt := int64(SubtreeSize(cv, p)) * blk
+		reqs = append(reqs, r.Isend(c, tag, temp.SubView(int64(cv-v)*blk, cnt)))
+	}
+	r.LocalCopy(recv, temp.SubView(0, blk))
+	r.Wait(reqs...)
+}
+
+// AllgatherRecDoubling runs recursive-doubling allgather (power-of-two
+// rank counts only).
+func AllgatherRecDoubling(r mpi.Ranker, send, recv memsim.View, tag int) {
+	p := r.Size()
+	if p&(p-1) != 0 {
+		panic("coll: recursive doubling needs power-of-two ranks")
+	}
+	me := r.ID()
+	blk := send.Len
+	r.LocalCopy(recv.SubView(int64(me)*blk, blk), send)
+	for d := 1; d < p; d <<= 1 {
+		partner := me ^ d
+		myBase := me &^ (d - 1)
+		pBase := partner &^ (d - 1)
+		r.Sendrecv(partner, tag,
+			recv.SubView(int64(myBase)*blk, int64(d)*blk),
+			partner, tag,
+			recv.SubView(int64(pBase)*blk, int64(d)*blk))
+	}
+}
+
+// AllgatherRing runs the bandwidth-optimal ring allgather: p-1 steps of
+// neighbor exchange, every link loaded evenly — the algorithm the paper
+// suggests borrowing for KNEM Allgather on large NUMA nodes (§VI-D).
+func AllgatherRing(r mpi.Ranker, send, recv memsim.View, tag int) {
+	p := r.Size()
+	counts, displs := Uniform(p, send.Len)
+	r.LocalCopy(VBlock(recv, counts, displs, r.ID()), send)
+	ringPhase(r, recv, counts, displs, tag, func(i int) int { return i })
+}
+
+// AllgathervRing is the ring allgather with per-rank counts.
+func AllgathervRing(r mpi.Ranker, send, recv memsim.View, rcounts, rdispls []int64, tag int) {
+	r.LocalCopy(VBlock(recv, rcounts, rdispls, r.ID()), send.SubView(0, rcounts[r.ID()]))
+	ringPhase(r, recv, rcounts, rdispls, tag, func(i int) int { return i })
+}
+
+// ringPhase circulates blocks around the ring; blockOf maps a step-owner
+// index to its block index (identity for allgather; virtual-to-real
+// mapping for the scatter-allgather broadcast).
+func ringPhase(r mpi.Ranker, recv memsim.View, counts, displs []int64, tag int, blockOf func(int) int) {
+	p := r.Size()
+	me := r.ID()
+	right := (me + 1) % p
+	left := (me - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sb := blockOf((me - step + p) % p)
+		rb := blockOf((me - step - 1 + p) % p)
+		r.Sendrecv(right, tag, VBlock(recv, counts, displs, sb), left, tag, VBlock(recv, counts, displs, rb))
+	}
+}
+
+// AlltoallPairwise exchanges equal blocks in p-1 rounds; at round k each
+// rank sends to me+k and receives from me-k.
+func AlltoallPairwise(r mpi.Ranker, send, recv memsim.View, tag int) {
+	p := r.Size()
+	counts, displs := Uniform(p, send.Len/int64(p))
+	AlltoallvPairwise(r, send, counts, displs, recv, counts, displs, tag)
+}
+
+// AlltoallvPairwise is the vector pairwise exchange.
+func AlltoallvPairwise(r mpi.Ranker, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64, tag int) {
+	p := r.Size()
+	me := r.ID()
+	r.LocalCopy(VBlock(recv, rcounts, rdispls, me), VBlock(send, scounts, sdispls, me))
+	for step := 1; step < p; step++ {
+		to := (me + step) % p
+		from := (me - step + p) % p
+		r.Sendrecv(to, tag, VBlock(send, scounts, sdispls, to), from, tag, VBlock(recv, rcounts, rdispls, from))
+	}
+}
+
+// BcastScatterAllgather is the van de Geijn large-message broadcast used
+// by MPICH2: binomial-scatter the buffer into near-equal ranges (in
+// virtual rank order), then allgather the ranges — by recursive doubling
+// when recDoubling is set (MPICH2's medium-size case, power-of-two ranks
+// only), by ring otherwise (the large-size case). All arithmetic is in
+// virtual coordinates so any root works in place.
+func BcastScatterAllgather(r mpi.Ranker, v memsim.View, root, tag int, recDoubling bool) {
+	p := r.Size()
+	me := r.ID()
+	vr := VRank(me, root, p)
+	n := v.Len
+	// Near-equal ranges per virtual rank.
+	counts := make([]int64, p)
+	displs := make([]int64, p)
+	base := n / int64(p)
+	rem := n % int64(p)
+	var off int64
+	for i := 0; i < p; i++ {
+		counts[i] = base
+		if int64(i) < rem {
+			counts[i]++
+		}
+		displs[i] = off
+		off += counts[i]
+	}
+	subRange := func(v0 int) (int64, int64) { // offset, length of subtree range
+		sz := SubtreeSize(v0, p)
+		var l int64
+		for i := v0; i < v0+sz; i++ {
+			l += counts[i]
+		}
+		return displs[v0], l
+	}
+	// Phase 1: binomial scatter of ranges, in place.
+	parent, children := BinomialChildren(me, root, p)
+	if parent != -1 {
+		o, l := subRange(vr)
+		if l > 0 {
+			r.Recv(parent, tag, v.SubView(o, l))
+		} else {
+			// Degenerate tiny message: still complete the handshake.
+			r.Recv(parent, tag, v.SubView(o, 0))
+		}
+	}
+	var reqs []*mpi.Request
+	for _, c := range children {
+		o, l := subRange(VRank(c, root, p))
+		reqs = append(reqs, r.Isend(c, tag, v.SubView(o, l)))
+	}
+	r.Wait(reqs...)
+	tag2 := tag + 1
+	if recDoubling && p&(p-1) == 0 {
+		// Phase 2a: recursive-doubling allgather of the ranges. At step
+		// d, exchange the contiguous range of the aligned 2^d-group.
+		rangeOf := func(base, width int) (int64, int64) {
+			lo := displs[base]
+			end := base + width
+			hi := displs[end-1] + counts[end-1]
+			return lo, hi - lo
+		}
+		for d := 1; d < p; d <<= 1 {
+			partner := vr ^ d
+			myLo, myLen := rangeOf(vr&^(d-1), d)
+			pLo, pLen := rangeOf(partner&^(d-1), d)
+			r.Sendrecv(RRank(partner, root, p), tag2, v.SubView(myLo, myLen),
+				RRank(partner, root, p), tag2, v.SubView(pLo, pLen))
+		}
+		return
+	}
+	// Phase 2b: ring allgather of the ranges over virtual neighbors.
+	right := RRank((vr+1)%p, root, p)
+	left := RRank((vr-1+p)%p, root, p)
+	for step := 0; step < p-1; step++ {
+		sb := (vr - step + p) % p
+		rb := (vr - step - 1 + p) % p
+		r.Sendrecv(right, tag2, VBlock(v, counts, displs, sb), left, tag2, VBlock(v, counts, displs, rb))
+	}
+}

@@ -1,0 +1,154 @@
+// Package basic implements the baseline linear collective component: every
+// operation decomposes into point-to-point messages with the root (or every
+// rank) looping over peers. It is the functional reference the optimized
+// components are validated against, and the fallback for operations a
+// specialized component does not implement.
+package basic
+
+import (
+	"repro/internal/coll"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Component is the linear collective component.
+type Component struct{}
+
+// New returns the component; it is stateless and shared by all ranks.
+func New(*mpi.World) mpi.Coll { return &Component{} }
+
+// Name implements mpi.Coll.
+func (*Component) Name() string { return "basic" }
+
+// Barrier uses dissemination over the out-of-band channel.
+func (*Component) Barrier(r *mpi.Rank) { coll.Dissemination(r, r.CollTag()) }
+
+// Bcast sends the buffer linearly from the root to every peer.
+func (*Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	if r.ID() == root {
+		reqs := make([]*mpi.Request, 0, r.Size()-1)
+		for i := 0; i < r.Size(); i++ {
+			if i != root {
+				reqs = append(reqs, r.Isend(i, tag, v))
+			}
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Recv(root, tag, v)
+}
+
+// Scatter sends block i of the root's buffer to rank i.
+func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
+	p := r.Size()
+	counts, displs := coll.Uniform(p, recv.Len)
+	c.Scatterv(r, send, counts, displs, recv, root)
+}
+
+// Scatterv implements the vector scatter linearly.
+func (*Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	tag := r.CollTag()
+	if r.ID() == root {
+		var reqs []*mpi.Request
+		for i := 0; i < r.Size(); i++ {
+			blk := coll.VBlock(send, scounts, sdispls, i)
+			if i == root {
+				r.LocalCopy(recv.SubView(0, blk.Len), blk)
+				continue
+			}
+			reqs = append(reqs, r.Isend(i, tag, blk))
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Recv(root, tag, recv)
+}
+
+// Gather collects block i from rank i into the root's buffer.
+func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
+	counts, displs := coll.Uniform(r.Size(), send.Len)
+	c.Gatherv(r, send, recv, counts, displs, root)
+}
+
+// Gatherv implements the vector gather linearly.
+func (*Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	tag := r.CollTag()
+	if r.ID() == root {
+		var reqs []*mpi.Request
+		for i := 0; i < r.Size(); i++ {
+			blk := coll.VBlock(recv, rcounts, rdispls, i)
+			if i == root {
+				r.LocalCopy(blk, send.SubView(0, blk.Len))
+				continue
+			}
+			reqs = append(reqs, r.Irecv(i, tag, blk))
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Send(root, tag, send)
+}
+
+// Allgather is a gather to rank 0 followed by a broadcast.
+func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
+	c.Gather(r, send, recv, 0)
+	c.Bcast(r, recv, 0)
+}
+
+// Allgatherv is a vector gather to rank 0 followed by a broadcast of the
+// full extent.
+func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	c.Gatherv(r, send, recv, rcounts, rdispls, 0)
+	c.Bcast(r, recv.SubView(0, coll.Total(rcounts, rdispls)), 0)
+}
+
+// Alltoall posts all receives and sends at once.
+func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
+	p := r.Size()
+	counts, displs := coll.Uniform(p, send.Len/int64(p))
+	c.Alltoallv(r, send, counts, displs, recv, counts, displs)
+}
+
+// Alltoallv posts all receives and sends at once.
+func (*Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	tag := r.CollTag()
+	me := r.ID()
+	var reqs []*mpi.Request
+	for i := 0; i < r.Size(); i++ {
+		if i == me {
+			continue
+		}
+		reqs = append(reqs, r.Irecv(i, tag, coll.VBlock(recv, rcounts, rdispls, i)))
+	}
+	r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, me), coll.VBlock(send, scounts, sdispls, me))
+	for i := 0; i < r.Size(); i++ {
+		if i == me {
+			continue
+		}
+		reqs = append(reqs, r.Isend(i, tag, coll.VBlock(send, scounts, sdispls, i)))
+	}
+	r.Wait(reqs...)
+}
+
+// Reduce receives every contribution at the root, combining sequentially.
+func (*Component) Reduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp, root int) {
+	coll.ReduceLinear(r, send, recv, op, root, r.CollTag())
+}
+
+// Allreduce is a reduce to rank 0 followed by a broadcast.
+func (c *Component) Allreduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	c.Reduce(r, send, recv, op, 0)
+	c.Bcast(r, recv.SubView(0, send.Len), 0)
+}
+
+// ReduceScatterBlock is a reduce to rank 0 followed by a scatter.
+func (c *Component) ReduceScatterBlock(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	p := int64(r.Size())
+	var full memsim.View
+	if r.ID() == 0 {
+		full = r.Alloc(p * recv.Len).Whole()
+	}
+	c.Reduce(r, send.SubView(0, p*recv.Len), full, op, 0)
+	c.Scatter(r, full, recv, 0)
+}

@@ -1,0 +1,181 @@
+package coll
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVRankRoundTrip(t *testing.T) {
+	f := func(rank, root, pp uint8) bool {
+		p := int(pp)%32 + 1
+		r := int(rank) % p
+		rt := int(root) % p
+		return RRank(VRank(r, rt, p), rt, p) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The binomial tree must be consistent: every non-root has exactly one
+// parent that lists it as a child, and the tree spans all ranks.
+func TestBinomialTreeConsistency(t *testing.T) {
+	for p := 1; p <= 40; p++ {
+		for _, root := range []int{0, p / 2, p - 1} {
+			childOf := make(map[int]int)
+			for r := 0; r < p; r++ {
+				_, children := BinomialChildren(r, root, p)
+				for _, c := range children {
+					if prev, dup := childOf[c]; dup {
+						t.Fatalf("p=%d root=%d: %d child of both %d and %d", p, root, c, prev, r)
+					}
+					childOf[c] = r
+				}
+			}
+			if len(childOf) != p-1 {
+				t.Fatalf("p=%d root=%d: %d edges, want %d", p, root, len(childOf), p-1)
+			}
+			for r := 0; r < p; r++ {
+				parent, _ := BinomialChildren(r, root, p)
+				if r == root {
+					if parent != -1 {
+						t.Fatalf("root has parent %d", parent)
+					}
+					continue
+				}
+				if childOf[r] != parent {
+					t.Fatalf("p=%d root=%d rank=%d: parent %d but child of %d", p, root, r, parent, childOf[r])
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialDepthLogarithmic(t *testing.T) {
+	depth := func(r, root, p int) int {
+		d := 0
+		for r != root {
+			r, _ = func() (int, []int) { return BinomialChildren(r, root, p) }()
+			d++
+			if d > 64 {
+				t.Fatal("cycle in binomial tree")
+			}
+		}
+		return d
+	}
+	for _, p := range []int{2, 7, 16, 48, 100} {
+		maxD := 0
+		for r := 0; r < p; r++ {
+			if d := depth(r, 0, p); d > maxD {
+				maxD = d
+			}
+		}
+		logP := 0
+		for 1<<logP < p {
+			logP++
+		}
+		if maxD > logP {
+			t.Errorf("p=%d: binomial depth %d > ceil(log2 p)=%d", p, maxD, logP)
+		}
+	}
+}
+
+func TestSubtreeSizesSum(t *testing.T) {
+	for p := 1; p <= 64; p++ {
+		// Root's children subtrees plus the root itself cover p.
+		_, children := BinomialChildren(0, 0, p)
+		total := 1
+		for _, c := range children {
+			total += SubtreeSize(c, p)
+		}
+		if total != p {
+			t.Fatalf("p=%d: subtree sizes sum to %d", p, total)
+		}
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	p := 6
+	for _, root := range []int{0, 2} {
+		// Follow the chain from root; it must visit all ranks once.
+		visited := map[int]bool{}
+		cur := root
+		for {
+			visited[cur] = true
+			_, next := ChainNext(cur, root, p)
+			if next == -1 {
+				break
+			}
+			cur = next
+		}
+		if len(visited) != p {
+			t.Fatalf("chain from root %d visits %d ranks", root, len(visited))
+		}
+		prev, _ := ChainNext(root, root, p)
+		if prev != -1 {
+			t.Fatalf("chain root has predecessor")
+		}
+	}
+}
+
+func TestSplitBinaryShape(t *testing.T) {
+	p := 11
+	counts := map[int]int{}
+	for r := 0; r < p; r++ {
+		parent, children := SplitBinaryParent(r, 3, p)
+		if len(children) > 2 {
+			t.Fatalf("binary node with %d children", len(children))
+		}
+		if r == 3 && parent != -1 {
+			t.Fatal("root has parent")
+		}
+		for _, c := range children {
+			counts[c]++
+		}
+	}
+	for r := 0; r < p; r++ {
+		if r == 3 {
+			continue
+		}
+		if counts[r] != 1 {
+			t.Fatalf("rank %d appears as child %d times", r, counts[r])
+		}
+	}
+}
+
+func TestUniformAndTotal(t *testing.T) {
+	counts, displs := Uniform(4, 100)
+	if Total(counts, displs) != 400 {
+		t.Fatalf("total = %d", Total(counts, displs))
+	}
+	for i := range counts {
+		if counts[i] != 100 || displs[i] != int64(i)*100 {
+			t.Fatalf("uniform layout wrong at %d", i)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	var offs, lens []int64
+	Segments(100, 30, func(off, n int64) {
+		offs = append(offs, off)
+		lens = append(lens, n)
+	})
+	if len(offs) != 4 || offs[3] != 90 || lens[3] != 10 {
+		t.Fatalf("segments = %v %v", offs, lens)
+	}
+	if NumSegments(100, 30) != 4 || NumSegments(100, 0) != 1 || NumSegments(0, 8) != 0 {
+		t.Fatal("NumSegments wrong")
+	}
+	// seg >= total: single segment.
+	n := 0
+	Segments(10, 1000, func(off, ln int64) {
+		n++
+		if off != 0 || ln != 10 {
+			t.Fatalf("oversized seg: off=%d len=%d", off, ln)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("oversized seg count = %d", n)
+	}
+}

@@ -1,0 +1,198 @@
+package coll_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Split by NUMA domain and broadcast within each sub-communicator
+// concurrently: the disjoint tag spaces must keep the two broadcasts from
+// interfering, and each group sees only its own root's data.
+func TestSplitByDomainConcurrentBcast(t *testing.T) {
+	m := topology.Dancer()
+	_, _, err := mpi.Run(mpi.Options{Machine: m, WithData: true}, func(r *mpi.Rank) {
+		world := r.World().WorldComm()
+		dom := r.Core().Domain.ID
+		sub := world.Split(r, dom, r.ID())
+		if sub == nil || sub.Size() != 4 {
+			t.Errorf("rank %d: sub size %v", r.ID(), sub)
+			return
+		}
+		g := sub.Rank(r)
+		b := r.Alloc(100_000)
+		if g.ID() == 0 {
+			for i := range b.Data {
+				b.Data[i] = byte(dom*91 + i)
+			}
+		}
+		coll.Bcast(g, b.Whole(), 0)
+		for i := 0; i < 100_000; i += 997 {
+			if b.Data[i] != byte(dom*91+i) {
+				t.Errorf("rank %d (dom %d): byte %d wrong", r.ID(), dom, i)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Split with keys reverses the rank order inside the new communicator.
+func TestSplitKeyOrdering(t *testing.T) {
+	m := topology.Dancer()
+	_, _, err := mpi.Run(mpi.Options{Machine: m, WithData: true}, func(r *mpi.Rank) {
+		world := r.World().WorldComm()
+		sub := world.Split(r, 0, -r.ID()) // one group, reversed order
+		g := sub.Rank(r)
+		if want := 7 - r.ID(); g.ID() != want {
+			t.Errorf("world rank %d: comm rank %d, want %d", r.ID(), g.ID(), want)
+		}
+		if sub.WorldRank(0) != 7 {
+			t.Errorf("comm rank 0 is world %d, want 7", sub.WorldRank(0))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Negative color excludes the caller (MPI_UNDEFINED) but the collective
+// still completes for everyone else.
+func TestSplitUndefinedColor(t *testing.T) {
+	m := topology.Dancer()
+	_, _, err := mpi.Run(mpi.Options{Machine: m, WithData: true}, func(r *mpi.Rank) {
+		world := r.World().WorldComm()
+		color := 0
+		if r.ID() == 3 {
+			color = -1
+		}
+		sub := world.Split(r, color, r.ID())
+		if r.ID() == 3 {
+			if sub != nil {
+				t.Error("excluded rank got a communicator")
+			}
+			return
+		}
+		if sub.Size() != 7 {
+			t.Errorf("sub size = %d, want 7", sub.Size())
+		}
+		g := sub.Rank(r)
+		b := r.Alloc(1024)
+		coll.Barrier(g)
+		coll.Bcast(g, b.Whole(), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every generic collective works on a sub-communicator with translated
+// ranks, including reductions and irregular member sets.
+func TestGenericCollectivesOnSubComm(t *testing.T) {
+	m := topology.IG()
+	_, _, err := mpi.Run(mpi.Options{Machine: m, NP: 12, WithData: true}, func(r *mpi.Rank) {
+		world := r.World().WorldComm()
+		// Odd world ranks form the group (6 members), evens idle after the
+		// split collective.
+		color := r.ID() % 2
+		sub := world.Split(r, color, r.ID())
+		g := sub.Rank(r)
+		p := int64(g.Size())
+		const blk = 40 << 10
+
+		// Allgather.
+		send := r.Alloc(blk)
+		for i := range send.Data {
+			send.Data[i] = byte(g.ID()*31 + i)
+		}
+		recv := r.Alloc(p * blk)
+		coll.Allgather(g, send.Whole(), recv.Whole())
+		for src := 0; src < int(p); src++ {
+			want := byte(src*31 + 100)
+			if recv.Data[src*blk+100] != want {
+				t.Errorf("allgather block %d wrong", src)
+				return
+			}
+		}
+
+		// Alltoall.
+		a2aSend := r.Alloc(p * blk)
+		for j := 0; j < int(p); j++ {
+			for i := int64(0); i < blk; i += 512 {
+				a2aSend.Data[int64(j)*blk+i] = byte(g.ID()*10 + j)
+			}
+		}
+		a2aRecv := r.Alloc(p * blk)
+		coll.Alltoall(g, a2aSend.Whole(), a2aRecv.Whole())
+		for src := 0; src < int(p); src++ {
+			if a2aRecv.Data[int64(src)*blk] != byte(src*10+g.ID()) {
+				t.Errorf("alltoall block %d wrong", src)
+				return
+			}
+		}
+
+		// Allreduce (p == 6: non power of two -> reduce+bcast path).
+		x := r.Alloc(4096)
+		for e := 0; e < 1024; e++ {
+			x.Data[e*4] = 1
+		}
+		sum := r.Alloc(4096)
+		coll.Allreduce(g, x.Whole(), sum.Whole(), mpi.OpSumInt32)
+		if sum.Data[0] != byte(p) {
+			t.Errorf("allreduce elem 0 = %d, want %d", sum.Data[0], p)
+		}
+
+		// Gather/Scatter round trip at a non-zero root.
+		root := int(p) - 1
+		var all []byte
+		gbuf := r.Alloc(p * blk)
+		coll.Gather(g, send.Whole(), gbuf.Whole(), root)
+		if g.ID() == root {
+			all = append(all, gbuf.Data...)
+			for src := 0; src < int(p); src++ {
+				if gbuf.Data[src*int(blk)+5] != byte(src*31+5) {
+					t.Errorf("gather block %d wrong", src)
+				}
+			}
+		}
+		back := r.Alloc(blk)
+		coll.Scatter(g, gbuf.Whole(), back.Whole(), root)
+		if !bytes.Equal(back.Data, send.Data) {
+			t.Errorf("scatter round trip lost data on comm rank %d", g.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Comm collectives and world-component collectives interleave without tag
+// collisions.
+func TestWorldAndCommCollectivesInterleave(t *testing.T) {
+	m := topology.Dancer()
+	_, _, err := mpi.Run(mpi.Options{Machine: m, WithData: true}, func(r *mpi.Rank) {
+		world := r.World().WorldComm()
+		g := world.Rank(r)
+		for iter := 0; iter < 3; iter++ {
+			b := r.Alloc(64 << 10)
+			if r.ID() == iter%8 {
+				for i := range b.Data {
+					b.Data[i] = byte(iter*3 + i)
+				}
+			}
+			coll.Bcast(g, b.Whole(), iter%8)
+			if b.Data[7] != byte(iter*3+7) {
+				t.Errorf("iter %d wrong", iter)
+			}
+			coll.Barrier(g)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,474 @@
+// Package conformance validates every collective component against the
+// MPI semantics of each operation, with real data, across message sizes
+// spanning all algorithm switch points, multiple roots, and both flat and
+// deeply-NUMA machines.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/coll/basic"
+	"repro/internal/coll/mpich2"
+	"repro/internal/coll/smcoll"
+	"repro/internal/coll/tuned"
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+type factory struct {
+	name string
+	btl  mpi.BTLKind
+	make func(w *mpi.World) mpi.Coll
+}
+
+func components() []factory {
+	return []factory{
+		{"basic-sm", mpi.BTLSM, basic.New},
+		{"basic-knem", mpi.BTLKNEM, basic.New},
+		{"tuned-sm", mpi.BTLSM, tuned.New},
+		{"tuned-knem", mpi.BTLKNEM, tuned.New},
+		{"mpich2-sm", mpi.BTLSM, mpich2.New},
+		{"mpich2-knem", mpi.BTLKNEM, mpich2.New},
+		{"smcoll", mpi.BTLSM, smcoll.New},
+		{"knemcoll", mpi.BTLSM, core.New},
+		{"knemcoll-hier", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeHierarchical})
+		}},
+		{"knemcoll-linear", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear})
+		}},
+	}
+}
+
+// pat gives a deterministic byte for (rank, index) pairs.
+func pat(rank int, i int64) byte { return byte(int64(rank*131) + i*7 + 3) }
+
+func fillPat(b *memsim.Buffer, rank int) {
+	for i := range b.Data {
+		b.Data[i] = pat(rank, int64(i))
+	}
+}
+
+type env struct {
+	name string
+	mach *topology.Machine
+	np   int
+}
+
+func envs() []env {
+	return []env{
+		{"dancer8", topology.Dancer(), 8},
+		{"dancer5", topology.Dancer(), 5}, // non-power-of-two
+		{"zoot16", topology.Zoot(), 16},
+		{"ig12", topology.IG(), 12},
+	}
+}
+
+func forAll(t *testing.T, sizes []int64, fn func(t *testing.T, f factory, e env, size int64)) {
+	t.Helper()
+	for _, f := range components() {
+		for _, e := range envs() {
+			for _, size := range sizes {
+				name := fmt.Sprintf("%s/%s/%d", f.name, e.name, size)
+				t.Run(name, func(t *testing.T) {
+					fn(t, f, e, size)
+				})
+			}
+		}
+	}
+}
+
+func runColl(t *testing.T, f factory, e env, body func(r *mpi.Rank)) *mpi.World {
+	t.Helper()
+	_, w, err := mpi.Run(mpi.Options{
+		Machine:  e.mach,
+		NP:       e.np,
+		BTL:      f.btl,
+		Coll:     f.make,
+		WithData: true,
+	}, body)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return w
+}
+
+// Sizes straddle eager (4 KiB), the KNEM threshold (16 KiB), and the
+// broadcast switch points (8 KiB, 512 KiB, 2 MiB).
+var bcastSizes = []int64{1 << 10, 20 << 10, 600 << 10, 2100 << 10}
+
+func TestBcast(t *testing.T) {
+	forAll(t, bcastSizes, func(t *testing.T, f factory, e env, size int64) {
+		for _, root := range []int{0, e.np - 1} {
+			root := root
+			runColl(t, f, e, func(r *mpi.Rank) {
+				b := r.Alloc(size)
+				if r.ID() == root {
+					fillPat(b, root)
+				}
+				r.Bcast(b.Whole(), root)
+				for i := int64(0); i < size; i += 511 {
+					if b.Data[i] != pat(root, i) {
+						t.Errorf("root %d rank %d: byte %d = %d, want %d", root, r.ID(), i, b.Data[i], pat(root, i))
+						return
+					}
+				}
+			})
+		}
+	})
+}
+
+var blockSizes = []int64{2 << 10, 40 << 10, 300 << 10}
+
+func TestScatter(t *testing.T) {
+	forAll(t, blockSizes, func(t *testing.T, f factory, e env, blk int64) {
+		root := e.np / 2
+		runColl(t, f, e, func(r *mpi.Rank) {
+			p := int64(e.np)
+			var send memsim.View
+			if r.ID() == root {
+				sb := r.Alloc(p * blk)
+				for i := range sb.Data {
+					sb.Data[i] = pat(int(int64(i)/blk), int64(i)%blk)
+				}
+				send = sb.Whole()
+			}
+			recv := r.Alloc(blk)
+			r.Scatter(send, recv.Whole(), root)
+			for i := int64(0); i < blk; i += 257 {
+				if recv.Data[i] != pat(r.ID(), i) {
+					t.Errorf("rank %d: scatter byte %d wrong", r.ID(), i)
+					return
+				}
+			}
+		})
+	})
+}
+
+func TestGather(t *testing.T) {
+	forAll(t, blockSizes, func(t *testing.T, f factory, e env, blk int64) {
+		root := e.np - 1
+		runColl(t, f, e, func(r *mpi.Rank) {
+			p := int64(e.np)
+			send := r.Alloc(blk)
+			fillPat(send, r.ID())
+			var recv memsim.View
+			var rb *memsim.Buffer
+			if r.ID() == root {
+				rb = r.Alloc(p * blk)
+				recv = rb.Whole()
+			}
+			r.Gather(send.Whole(), recv, root)
+			if r.ID() == root {
+				for src := 0; src < e.np; src++ {
+					for i := int64(0); i < blk; i += 509 {
+						if rb.Data[int64(src)*blk+i] != pat(src, i) {
+							t.Errorf("gather: block %d byte %d wrong", src, i)
+							return
+						}
+					}
+				}
+			}
+		})
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	forAll(t, blockSizes, func(t *testing.T, f factory, e env, blk int64) {
+		runColl(t, f, e, func(r *mpi.Rank) {
+			p := int64(e.np)
+			send := r.Alloc(blk)
+			fillPat(send, r.ID())
+			recv := r.Alloc(p * blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			for src := 0; src < e.np; src++ {
+				for i := int64(0); i < blk; i += 503 {
+					if recv.Data[int64(src)*blk+i] != pat(src, i) {
+						t.Errorf("rank %d: allgather block %d byte %d wrong", r.ID(), src, i)
+						return
+					}
+				}
+			}
+		})
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	forAll(t, []int64{2 << 10, 40 << 10}, func(t *testing.T, f factory, e env, blk int64) {
+		runColl(t, f, e, func(r *mpi.Rank) {
+			p := int64(e.np)
+			send := r.Alloc(p * blk)
+			// Block j carries pat(me*100+j, .).
+			for j := 0; j < e.np; j++ {
+				for i := int64(0); i < blk; i++ {
+					send.Data[int64(j)*blk+i] = pat(r.ID()*100+j, i)
+				}
+			}
+			recv := r.Alloc(p * blk)
+			r.Alltoall(send.Whole(), recv.Whole())
+			for src := 0; src < e.np; src++ {
+				for i := int64(0); i < blk; i += 251 {
+					if recv.Data[int64(src)*blk+i] != pat(src*100+r.ID(), i) {
+						t.Errorf("rank %d: alltoall block from %d wrong", r.ID(), src)
+						return
+					}
+				}
+			}
+		})
+	})
+}
+
+func TestBarrierSemantics(t *testing.T) {
+	for _, f := range components() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			e := env{"dancer8", topology.Dancer(), 8}
+			enter := make([]float64, e.np)
+			exit := make([]float64, e.np)
+			runColl(t, f, e, func(r *mpi.Rank) {
+				r.Sleep(float64(r.ID()) * 1e-3) // staggered arrival
+				enter[r.ID()] = r.Now()
+				r.Barrier()
+				exit[r.ID()] = r.Now()
+			})
+			maxEnter := 0.0
+			for _, v := range enter {
+				if v > maxEnter {
+					maxEnter = v
+				}
+			}
+			for i, v := range exit {
+				if v < maxEnter {
+					t.Fatalf("rank %d exited barrier at %g before last entry %g", i, v, maxEnter)
+				}
+			}
+		})
+	}
+}
+
+// Vector variants with random uneven counts.
+func TestVectorVariants(t *testing.T) {
+	for _, f := range components() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			e := env{"dancer8", topology.Dancer(), 8}
+			rng := rand.New(rand.NewSource(42))
+			p := e.np
+			counts := make([]int64, p)
+			displs := make([]int64, p)
+			var off int64
+			for i := range counts {
+				counts[i] = int64(rng.Intn(90_000)) + 1
+				displs[i] = off
+				off += counts[i]
+			}
+			total := off
+
+			// Gatherv.
+			root := 3
+			runColl(t, f, e, func(r *mpi.Rank) {
+				send := r.Alloc(counts[r.ID()])
+				fillPat(send, r.ID())
+				var recv memsim.View
+				var rb *memsim.Buffer
+				if r.ID() == root {
+					rb = r.Alloc(total)
+					recv = rb.Whole()
+				}
+				r.Gatherv(send.Whole(), recv, counts, displs, root)
+				if r.ID() == root {
+					for src := 0; src < p; src++ {
+						for i := int64(0); i < counts[src]; i += 101 {
+							if rb.Data[displs[src]+i] != pat(src, i) {
+								t.Errorf("gatherv block %d wrong", src)
+								return
+							}
+						}
+					}
+				}
+			})
+
+			// Scatterv.
+			runColl(t, f, e, func(r *mpi.Rank) {
+				var send memsim.View
+				if r.ID() == root {
+					sb := r.Alloc(total)
+					for i := 0; i < p; i++ {
+						for j := int64(0); j < counts[i]; j++ {
+							sb.Data[displs[i]+j] = pat(i, j)
+						}
+					}
+					send = sb.Whole()
+				}
+				recv := r.Alloc(counts[r.ID()])
+				r.Scatterv(send, counts, displs, recv.Whole(), root)
+				for i := int64(0); i < counts[r.ID()]; i += 97 {
+					if recv.Data[i] != pat(r.ID(), i) {
+						t.Errorf("scatterv rank %d wrong", r.ID())
+						return
+					}
+				}
+			})
+
+			// Allgatherv.
+			runColl(t, f, e, func(r *mpi.Rank) {
+				send := r.Alloc(counts[r.ID()])
+				fillPat(send, r.ID())
+				recv := r.Alloc(total)
+				r.Allgatherv(send.Whole(), recv.Whole(), counts, displs)
+				for src := 0; src < p; src++ {
+					for i := int64(0); i < counts[src]; i += 103 {
+						if recv.Data[displs[src]+i] != pat(src, i) {
+							t.Errorf("allgatherv rank %d block %d wrong", r.ID(), src)
+							return
+						}
+					}
+				}
+			})
+
+			// Alltoallv: rank r sends counts2[j] bytes to rank j; the
+			// matrix must be consistent: what i sends to j == what j
+			// receives from i. Use size dependent on (i+j).
+			mat := make([][]int64, p)
+			for i := range mat {
+				mat[i] = make([]int64, p)
+				for j := range mat[i] {
+					mat[i][j] = int64((i+j)*7919)%50_000 + 1
+				}
+			}
+			runColl(t, f, e, func(r *mpi.Rank) {
+				me := r.ID()
+				sc := make([]int64, p)
+				sd := make([]int64, p)
+				var so int64
+				for j := 0; j < p; j++ {
+					sc[j] = mat[me][j]
+					sd[j] = so
+					so += sc[j]
+				}
+				rc := make([]int64, p)
+				rd := make([]int64, p)
+				var ro int64
+				for j := 0; j < p; j++ {
+					rc[j] = mat[j][me]
+					rd[j] = ro
+					ro += rc[j]
+				}
+				sb := r.Alloc(so)
+				for j := 0; j < p; j++ {
+					for i := int64(0); i < sc[j]; i++ {
+						sb.Data[sd[j]+i] = pat(me*100+j, i)
+					}
+				}
+				rb := r.Alloc(ro)
+				r.Alltoallv(sb.Whole(), sc, sd, rb.Whole(), rc, rd)
+				for src := 0; src < p; src++ {
+					for i := int64(0); i < rc[src]; i += 89 {
+						if rb.Data[rd[src]+i] != pat(src*100+me, i) {
+							t.Errorf("alltoallv rank %d from %d wrong", me, src)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// Consecutive collectives must not interfere (tag reuse, region leaks).
+func TestBackToBackCollectives(t *testing.T) {
+	for _, f := range components() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			e := env{"dancer8", topology.Dancer(), 8}
+			w := runColl(t, f, e, func(r *mpi.Rank) {
+				for iter := 0; iter < 4; iter++ {
+					b := r.Alloc(64 << 10)
+					if r.ID() == iter%e.np {
+						fillPat(b, iter)
+					}
+					r.Bcast(b.Whole(), iter%e.np)
+					if b.Data[100] != pat(iter, 100) {
+						t.Errorf("iter %d corrupted", iter)
+					}
+					r.Barrier()
+				}
+			})
+			if w.Knem().ActiveRegions() != 0 {
+				t.Fatalf("%d KNEM regions leaked", w.Knem().ActiveRegions())
+			}
+		})
+	}
+}
+
+// KNEM-Coll structural properties from the paper.
+func TestKnemCollStructure(t *testing.T) {
+	e := env{"dancer8", topology.Dancer(), 8}
+	f := factory{"knemcoll", mpi.BTLSM, core.New}
+
+	t.Run("linear-bcast-one-registration", func(t *testing.T) {
+		lin := factory{"knemcoll-linear", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear})
+		}}
+		w := runColl(t, lin, e, func(r *mpi.Rank) {
+			b := r.Alloc(1 << 20)
+			r.Bcast(b.Whole(), 0)
+		})
+		if w.Stats().Registrations != 1 {
+			t.Errorf("registrations = %d, want 1", w.Stats().Registrations)
+		}
+		if w.Stats().Copies != int64(e.np-1) {
+			t.Errorf("copies = %d, want %d (one per receiver)", w.Stats().Copies, e.np-1)
+		}
+	})
+
+	t.Run("hier-bcast-two-registrations", func(t *testing.T) {
+		// Dancer has 2 domains: the root's region plus one leader region.
+		hier := factory{"knemcoll-hier", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeHierarchical, NoPipeline: true})
+		}}
+		w := runColl(t, hier, e, func(r *mpi.Rank) {
+			b := r.Alloc(1 << 20)
+			r.Bcast(b.Whole(), 0)
+		})
+		if w.Stats().Registrations != 2 {
+			t.Errorf("registrations = %d, want 2 (root + leader)", w.Stats().Registrations)
+		}
+		// 3 locals + 1 leader + 3 remote leaves, one whole-buffer copy each.
+		if w.Stats().Copies != int64(e.np-1) {
+			t.Errorf("copies = %d, want %d", w.Stats().Copies, e.np-1)
+		}
+	})
+
+	t.Run("gather-parallel-writes", func(t *testing.T) {
+		w := runColl(t, f, e, func(r *mpi.Rank) {
+			send := r.Alloc(256 << 10)
+			var recv memsim.View
+			if r.ID() == 0 {
+				recv = r.Alloc(8 * 256 << 10).Whole()
+			}
+			r.Gather(send.Whole(), recv, 0)
+		})
+		// 1 registration, 7 peer writes + 1 root local copy.
+		if w.Stats().Registrations != 1 {
+			t.Errorf("registrations = %d, want 1", w.Stats().Registrations)
+		}
+		if w.Stats().Copies != int64(e.np) {
+			t.Errorf("copies = %d, want %d", w.Stats().Copies, e.np)
+		}
+	})
+
+	t.Run("small-messages-delegate", func(t *testing.T) {
+		w := runColl(t, f, e, func(r *mpi.Rank) {
+			b := r.Alloc(4 << 10) // below the 16 KiB threshold
+			r.Bcast(b.Whole(), 0)
+		})
+		if w.Stats().Registrations != 0 {
+			t.Errorf("small bcast used KNEM (%d registrations)", w.Stats().Registrations)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package coll
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Generic collectives over any mpi.Ranker — in particular over
+// sub-communicators (mpi.CommRank). They use a compact Tuned-style
+// decision menu: binomial for small payloads, pipelined trees and rings
+// for large ones, recursive doubling / Rabenseifner on power-of-two sizes.
+// The world's pluggable components remain in charge of the world
+// communicator; these functions make subgroup algorithms (hierarchies,
+// per-NUMA phases, application task groups) expressible without one.
+
+const (
+	genericBinomialMax = 64 << 10
+	genericSeg         = 64 << 10
+)
+
+// Bcast broadcasts root's v to every member.
+func Bcast(r mpi.Ranker, v memsim.View, root int) {
+	tag := r.CollTag()
+	if v.Len <= genericBinomialMax || r.Size() <= 2 {
+		BcastBinomial(r, v, root, tag)
+		return
+	}
+	BcastBinaryPipelined(r, v, root, tag, genericSeg)
+}
+
+// Barrier synchronizes all members.
+func Barrier(r mpi.Ranker) { Dissemination(r, r.CollTag()) }
+
+// Gather collects equal blocks at the root.
+func Gather(r mpi.Ranker, send, recv memsim.View, root int) {
+	tag := r.CollTag()
+	if send.Len <= genericBinomialMax {
+		GatherBinomial(r, send, recv, root, tag)
+		return
+	}
+	// Linear for large blocks: the root sinks each contribution once.
+	if r.ID() == root {
+		var reqs []*mpi.Request
+		for i := 0; i < r.Size(); i++ {
+			blk := recv.SubView(int64(i)*send.Len, send.Len)
+			if i == root {
+				r.LocalCopy(blk, send)
+				continue
+			}
+			reqs = append(reqs, r.Irecv(i, tag, blk))
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Send(root, tag, send)
+}
+
+// Scatter distributes equal blocks from the root.
+func Scatter(r mpi.Ranker, send, recv memsim.View, root int) {
+	tag := r.CollTag()
+	if recv.Len <= genericBinomialMax {
+		ScatterBinomial(r, send, recv, root, tag)
+		return
+	}
+	if r.ID() == root {
+		var reqs []*mpi.Request
+		for i := 0; i < r.Size(); i++ {
+			blk := send.SubView(int64(i)*recv.Len, recv.Len)
+			if i == root {
+				r.LocalCopy(recv, blk)
+				continue
+			}
+			reqs = append(reqs, r.Isend(i, tag, blk))
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Recv(root, tag, recv)
+}
+
+// Allgather gathers every member's block everywhere.
+func Allgather(r mpi.Ranker, send, recv memsim.View) {
+	p := r.Size()
+	tag := r.CollTag()
+	if p&(p-1) == 0 && send.Len <= genericBinomialMax {
+		AllgatherRecDoubling(r, send, recv, tag)
+		return
+	}
+	AllgatherRing(r, send, recv, tag)
+}
+
+// Alltoall exchanges personalized blocks pairwise.
+func Alltoall(r mpi.Ranker, send, recv memsim.View) {
+	AlltoallPairwise(r, send, recv, r.CollTag())
+}
+
+// Reduce combines at the root.
+func Reduce(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp, root int) {
+	ReduceBinomial(r, send, recv, op, root, r.CollTag())
+}
+
+// Allreduce combines everywhere.
+func Allreduce(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp) {
+	p := r.Size()
+	tag := r.CollTag()
+	pow2 := p&(p-1) == 0
+	switch {
+	case pow2 && send.Len <= genericBinomialMax:
+		AllreduceRecDoubling(r, send, recv, op, tag)
+	case pow2 && send.Len%int64(p) == 0:
+		AllreduceRabenseifner(r, send, recv, op, tag)
+	default:
+		Reduce(r, send, recv, op, 0)
+		Bcast(r, recv.SubView(0, send.Len), 0)
+	}
+}

@@ -1,0 +1,161 @@
+// Package mpich2 models MPICH2's collective algorithm selection (the
+// paper's second baseline, §VI): over Nemesis shared memory (MPICH2-SM)
+// or over the KNEM LMT (MPICH2-KNEM), depending on the world's BTL.
+//
+// Algorithm menu, following MPICH2 1.3's coll_tuning defaults:
+//
+//	Bcast:     binomial (< 12 KiB or < 8 ranks) ->
+//	           scatter + recursive-doubling allgather (medium, pow2) ->
+//	           scatter + ring allgather (large)
+//	Gather:    binomial at every size
+//	Scatter:   binomial at every size
+//	Allgather: recursive doubling (pow2, medium) -> ring
+//	Alltoall:  batched nonblocking (medium) -> pairwise (large)
+package mpich2
+
+import (
+	"repro/internal/coll"
+	"repro/internal/coll/basic"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Config carries MPICH2's switch points.
+type Config struct {
+	BcastShortMax    int64 // <= : binomial (default 12 KiB)
+	BcastMediumMax   int64 // <= : scatter + recursive-doubling allgather (default 512 KiB)
+	AllgatherRDMax   int64 // <= total bytes: recursive doubling if pow2 (default 512 KiB)
+	AlltoallBatchMax int64 // <= block bytes: batched isend/irecv (default 32 KiB)
+}
+
+func (c *Config) fill() {
+	if c.BcastShortMax == 0 {
+		c.BcastShortMax = 12 << 10
+	}
+	if c.BcastMediumMax == 0 {
+		c.BcastMediumMax = 512 << 10
+	}
+	if c.AllgatherRDMax == 0 {
+		c.AllgatherRDMax = 512 << 10
+	}
+	if c.AlltoallBatchMax == 0 {
+		c.AlltoallBatchMax = 32 << 10
+	}
+}
+
+// Component is the MPICH2 collective component.
+type Component struct {
+	cfg    Config
+	linear *basic.Component
+}
+
+// New builds the component with default switch points.
+func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
+
+// NewWithConfig builds the component with explicit switch points.
+func NewWithConfig(_ *mpi.World, cfg Config) mpi.Coll {
+	cfg.fill()
+	return &Component{cfg: cfg, linear: &basic.Component{}}
+}
+
+// Name implements mpi.Coll.
+func (*Component) Name() string { return "mpich2" }
+
+// Barrier implements mpi.Coll (dissemination, as MPICH2 uses).
+func (c *Component) Barrier(r *mpi.Rank) { c.linear.Barrier(r) }
+
+// Bcast follows the short/medium/long split of MPICH2.
+func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	if v.Len <= c.cfg.BcastShortMax || r.Size() < 8 || v.Len < int64(r.Size()) {
+		coll.BcastBinomial(r, v, root, tag)
+		return
+	}
+	// Medium messages allgather the scattered ranges by recursive
+	// doubling (power-of-two ranks), long ones by ring.
+	coll.BcastScatterAllgather(r, v, root, tag, v.Len <= c.cfg.BcastMediumMax)
+}
+
+// Gather is binomial at every size (MPICH2's only intra-communicator
+// algorithm) — the root-serialized packing whose cost Fig. 6 exposes.
+func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
+	coll.GatherBinomial(r, send, recv, root, r.CollTag())
+}
+
+// Scatter is binomial at every size.
+func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
+	coll.ScatterBinomial(r, send, recv, root, r.CollTag())
+}
+
+// Allgather is recursive doubling for medium power-of-two worlds, ring
+// otherwise.
+func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
+	p := r.Size()
+	if p&(p-1) == 0 && send.Len*int64(p) <= c.cfg.AllgatherRDMax {
+		coll.AllgatherRecDoubling(r, send, recv, r.CollTag())
+		return
+	}
+	coll.AllgatherRing(r, send, recv, r.CollTag())
+}
+
+// Alltoall batches nonblocking operations for medium blocks and goes
+// pairwise for large ones.
+func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
+	blk := send.Len / int64(r.Size())
+	if blk <= c.cfg.AlltoallBatchMax {
+		c.linear.Alltoall(r, send, recv)
+		return
+	}
+	coll.AlltoallPairwise(r, send, recv, r.CollTag())
+}
+
+// Gatherv is linear, as in MPICH2.
+func (c *Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	c.linear.Gatherv(r, send, recv, rcounts, rdispls, root)
+}
+
+// Scatterv is linear.
+func (c *Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	c.linear.Scatterv(r, send, scounts, sdispls, recv, root)
+}
+
+// Allgatherv rings the variable blocks.
+func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	coll.AllgathervRing(r, send, recv, rcounts, rdispls, r.CollTag())
+}
+
+// Alltoallv is pairwise.
+func (c *Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	coll.AlltoallvPairwise(r, send, scounts, sdispls, recv, rcounts, rdispls, r.CollTag())
+}
+
+// Reduce combines up the binomial tree (MPICH2's short-vector algorithm,
+// used here for all sizes).
+func (c *Component) Reduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp, root int) {
+	coll.ReduceBinomial(r, send, recv, op, root, r.CollTag())
+}
+
+// Allreduce follows MPICH2: recursive doubling below 2 KiB, Rabenseifner
+// above (power-of-two ranks), reduce+broadcast otherwise.
+func (c *Component) Allreduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	p := r.Size()
+	pow2 := p&(p-1) == 0
+	switch {
+	case pow2 && send.Len <= 2<<10:
+		coll.AllreduceRecDoubling(r, send, recv, op, r.CollTag())
+	case pow2 && send.Len%int64(p) == 0:
+		coll.AllreduceRabenseifner(r, send, recv, op, r.CollTag())
+	default:
+		c.Reduce(r, send, recv, op, 0)
+		c.Bcast(r, recv.SubView(0, send.Len), 0)
+	}
+}
+
+// ReduceScatterBlock uses recursive halving on power-of-two ranks.
+func (c *Component) ReduceScatterBlock(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	if p := r.Size(); p&(p-1) == 0 {
+		coll.ReduceScatterBlockHalving(r, send, recv, op, r.CollTag())
+		return
+	}
+	c.linear.ReduceScatterBlock(r, send, recv, op)
+}

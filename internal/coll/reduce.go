@@ -1,0 +1,161 @@
+package coll
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Reduction algorithm implementations shared by the components. KNEM
+// cannot combine data in kernel space, so the paper's component delegates
+// reductions to its fallback (§V-A); these algorithms are the baselines
+// that fallback resolves to.
+
+// ReduceLinear receives every contribution at the root and combines
+// sequentially (the basic algorithm).
+func ReduceLinear(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp, root, tag int) {
+	if r.ID() != root {
+		r.Send(root, tag, send)
+		return
+	}
+	r.LocalCopy(recv.SubView(0, send.Len), send)
+	if r.Size() == 1 {
+		return
+	}
+	temp := r.Alloc(send.Len).Whole()
+	for i := 0; i < r.Size(); i++ {
+		if i == root {
+			continue
+		}
+		r.Recv(i, tag, temp)
+		r.ApplyReduce(op, recv.SubView(0, send.Len), temp)
+	}
+}
+
+// ReduceBinomial combines contributions up the binomial tree: every
+// interior rank accumulates its children's partial results before
+// forwarding one combined message to its parent.
+func ReduceBinomial(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp, root, tag int) {
+	p := r.Size()
+	me := r.ID()
+	if p == 1 {
+		r.LocalCopy(recv.SubView(0, send.Len), send)
+		return
+	}
+	parent, children := BinomialChildren(me, root, p)
+	accum := recv
+	if me != root {
+		accum = r.Alloc(send.Len).Whole()
+	}
+	accum = accum.SubView(0, send.Len)
+	r.LocalCopy(accum, send)
+	if len(children) > 0 {
+		temp := r.Alloc(send.Len).Whole()
+		// Children must be combined in arrival order of the tree: the
+		// deepest subtrees (largest) finish last, so receive smallest
+		// first — BinomialChildren returns largest first; walk reversed.
+		for i := len(children) - 1; i >= 0; i-- {
+			r.Recv(children[i], tag, temp)
+			r.ApplyReduce(op, accum, temp)
+		}
+	}
+	if me != root {
+		r.Send(parent, tag, accum)
+	}
+}
+
+// AllreduceRecDoubling combines full vectors pairwise over log2(p) rounds
+// (power-of-two ranks only): every rank ends with the total.
+func AllreduceRecDoubling(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp, tag int) {
+	p := r.Size()
+	if p&(p-1) != 0 {
+		panic("coll: recursive doubling allreduce needs power-of-two ranks")
+	}
+	me := r.ID()
+	acc := recv.SubView(0, send.Len)
+	r.LocalCopy(acc, send)
+	if p == 1 {
+		return
+	}
+	temp := r.Alloc(send.Len).Whole()
+	for d := 1; d < p; d <<= 1 {
+		partner := me ^ d
+		r.Sendrecv(partner, tag, acc, partner, tag, temp)
+		r.ApplyReduce(op, acc, temp)
+	}
+}
+
+// ReduceScatterHalving runs recursive-halving reduce-scatter on
+// power-of-two ranks over a scratch buffer holding the full vector
+// (p * blk bytes); on return scratch's block me holds the reduced block.
+// The caller provides scratch so Rabenseifner's allreduce can continue
+// in place.
+func ReduceScatterHalving(r mpi.Ranker, scratch memsim.View, blk int64, op mpi.ReduceOp, tag int) {
+	p := r.Size()
+	if p&(p-1) != 0 {
+		panic("coll: recursive halving needs power-of-two ranks")
+	}
+	me := r.ID()
+	temp := r.Alloc(scratch.Len / 2).Whole()
+	lo, hi := 0, p
+	for d := p / 2; d >= 1; d /= 2 {
+		partner := me ^ d
+		mid := (lo + hi) / 2
+		var mineLo, mineHi, theirLo, theirHi int
+		if me&d == 0 {
+			mineLo, mineHi, theirLo, theirHi = lo, mid, mid, hi
+		} else {
+			mineLo, mineHi, theirLo, theirHi = mid, hi, lo, mid
+		}
+		n := int64(theirHi-theirLo) * blk
+		r.Sendrecv(partner, tag,
+			scratch.SubView(int64(theirLo)*blk, n),
+			partner, tag,
+			temp.SubView(0, int64(mineHi-mineLo)*blk))
+		r.ApplyReduce(op,
+			scratch.SubView(int64(mineLo)*blk, int64(mineHi-mineLo)*blk),
+			temp.SubView(0, int64(mineHi-mineLo)*blk))
+		lo, hi = mineLo, mineHi
+	}
+	if lo != me || hi != me+1 {
+		panic("coll: halving did not converge on own block")
+	}
+}
+
+// AllreduceRabenseifner is the bandwidth-optimal large-vector allreduce:
+// recursive-halving reduce-scatter followed by recursive-doubling
+// allgather, both in place on recv (power-of-two ranks, vector divisible
+// into p blocks).
+func AllreduceRabenseifner(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp, tag int) {
+	p := r.Size()
+	full := recv.SubView(0, send.Len)
+	r.LocalCopy(full, send)
+	if p == 1 {
+		return
+	}
+	blk := send.Len / int64(p)
+	ReduceScatterHalving(r, full, blk, op, tag)
+	// Allgather the reduced blocks by recursive doubling, in place.
+	me := r.ID()
+	for d := 1; d < p; d <<= 1 {
+		partner := me ^ d
+		myBase := me &^ (d - 1)
+		pBase := partner &^ (d - 1)
+		r.Sendrecv(partner, tag+1,
+			full.SubView(int64(myBase)*blk, int64(d)*blk),
+			partner, tag+1,
+			full.SubView(int64(pBase)*blk, int64(d)*blk))
+	}
+}
+
+// ReduceScatterBlockHalving reduces and scatters equal blocks by
+// recursive halving (power-of-two ranks).
+func ReduceScatterBlockHalving(r mpi.Ranker, send, recv memsim.View, op mpi.ReduceOp, tag int) {
+	p := r.Size()
+	blk := recv.Len
+	scratch := r.Alloc(int64(p) * blk).Whole()
+	r.LocalCopy(scratch, send.SubView(0, int64(p)*blk))
+	if p > 1 {
+		ReduceScatterHalving(r, scratch, blk, op, tag)
+	}
+	r.LocalCopy(recv, scratch.SubView(int64(r.ID())*blk, blk))
+}

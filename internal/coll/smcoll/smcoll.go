@@ -1,0 +1,318 @@
+// Package smcoll models the shared-memory fan-in/fan-out collective
+// component of Graham et al. (§II): a logical fixed-degree tree over rank
+// order, pipelined fragments through per-process shared-memory banks sized
+// to stay cache-resident, and lightweight flag synchronization. The tree
+// follows logical ranks and deliberately ignores NUMA topology — the
+// limitation the paper's hierarchical KNEM Broadcast addresses.
+//
+// Broadcast fans out: the root copies each fragment into its shared banks;
+// an interior process copies its parent's bank into its own bank (serving
+// its subtree) and then into its user buffer; a leaf copies the parent's
+// bank straight to its user buffer. Gather fans in through the same banks.
+// Every payload byte therefore crosses shared memory with the double (or
+// triple) copies the KNEM component eliminates.
+//
+// Operations without a fan-in/fan-out specialization delegate to Tuned.
+package smcoll
+
+import (
+	"repro/internal/coll"
+	"repro/internal/coll/tuned"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Config shapes the component.
+type Config struct {
+	// Degree is the tree fan-out (default 4, Graham et al.'s default).
+	Degree int
+	// FragSize is the pipeline fragment (default 32 KiB).
+	FragSize int64
+	// Banks is the per-process double-buffering depth (default 2).
+	Banks int
+}
+
+func (c *Config) fill() {
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	if c.FragSize == 0 {
+		c.FragSize = 32 << 10
+	}
+	if c.Banks == 0 {
+		c.Banks = 2
+	}
+}
+
+// Component is the fan-in/fan-out shared-memory component.
+type Component struct {
+	w    *mpi.World
+	cfg  Config
+	fb   mpi.Coll
+	segs []*memsim.Buffer // per-rank shared bank storage
+}
+
+// New builds the component with defaults.
+func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
+
+// NewWithConfig builds the component with explicit parameters.
+func NewWithConfig(w *mpi.World, cfg Config) mpi.Coll {
+	cfg.fill()
+	c := &Component{w: w, cfg: cfg, fb: tuned.New(w)}
+	for i := 0; i < w.Size(); i++ {
+		c.segs = append(c.segs, w.Net().Alloc(w.Rank(i).Core().Domain, int64(cfg.Banks)*cfg.FragSize, true))
+	}
+	return c
+}
+
+// Name implements mpi.Coll.
+func (*Component) Name() string { return "smcoll" }
+
+// bank returns fragment f's bank in rank i's shared segment.
+func (c *Component) bank(i int, f int) memsim.View {
+	b := int64(f % c.cfg.Banks)
+	return c.segs[i].View(b*c.cfg.FragSize, c.cfg.FragSize)
+}
+
+// tree returns the parent and children of rank in the degree-k tree over
+// virtual ranks.
+func (c *Component) tree(rank, root, p int) (parent int, children []int) {
+	k := c.cfg.Degree
+	v := coll.VRank(rank, root, p)
+	parent = -1
+	if v != 0 {
+		parent = coll.RRank((v-1)/k, root, p)
+	}
+	for j := 1; j <= k; j++ {
+		cv := k*v + j
+		if cv < p {
+			children = append(children, coll.RRank(cv, root, p))
+		}
+	}
+	return
+}
+
+type fragNote struct{ f int }
+type bankFree struct{ f int }
+
+// Bcast fans the message out through the shared banks.
+func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	tag := r.CollTag()
+	me := r.ID()
+	parent, children := c.tree(me, root, p)
+	nfrag := coll.NumSegments(v.Len, c.cfg.FragSize)
+	tr := c.w.Transport()
+
+	acks := 0                  // total child acks received
+	acked := make(map[int]int) // per-child count of acked fragments
+	minAcked := func() int {
+		min := nfrag
+		for _, ch := range children {
+			if acked[ch] < min {
+				min = acked[ch]
+			}
+		}
+		return min
+	}
+	waitBank := func(f int) {
+		// Reuse bank f%Banks only after every child acked fragment
+		// f-Banks (acks arrive in fragment order per child).
+		for minAcked() < f-c.cfg.Banks+1 {
+			m, from := r.RecvOOB(mpi.AnySource, tag+1)
+			_ = m.(bankFree)
+			acked[from]++
+			acks++
+		}
+	}
+	fr := 0
+	coll.Segments(v.Len, c.cfg.FragSize, func(off, n int64) {
+		f := fr
+		fr++
+		if parent == -1 {
+			waitBank(f)
+			tr.CopyIn(r.Proc(), me, c.bank(me, f), v.SubView(off, n))
+			for _, ch := range children {
+				r.SendOOB(ch, tag, fragNote{f: f})
+			}
+			return
+		}
+		m, _ := r.RecvOOB(parent, tag)
+		if m.(fragNote).f != f {
+			panic("smcoll: fragment out of order")
+		}
+		src := c.bank(parent, f).SubView(0, n)
+		if len(children) > 0 {
+			waitBank(f)
+			// Interior: parent bank -> own bank, own bank -> user buffer.
+			c.w.Net().Copy(r.Proc(), r.Core(), c.bank(me, f).SubView(0, n), src)
+			for _, ch := range children {
+				r.SendOOB(ch, tag, fragNote{f: f})
+			}
+			c.w.Net().Copy(r.Proc(), r.Core(), v.SubView(off, n), c.bank(me, f).SubView(0, n))
+		} else {
+			tr.CopyOut(r.Proc(), me, v.SubView(off, n), src)
+		}
+		r.SendOOB(parent, tag+1, bankFree{f: f})
+	})
+	// Drain remaining child acks so banks are quiescent before reuse by
+	// the next collective.
+	for acks < nfrag*len(children) {
+		m, _ := r.RecvOOB(mpi.AnySource, tag+1)
+		_ = m.(bankFree)
+		acks++
+	}
+}
+
+// Gather fans blocks in: every rank streams its block through its own
+// banks and the root drains every rank's banks — the root-core
+// serialization of §III-A, kept faithfully.
+func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
+	p := r.Size()
+	if p == 1 {
+		r.LocalCopy(recv.SubView(0, send.Len), send)
+		return
+	}
+	tag := r.CollTag()
+	me := r.ID()
+	tr := c.w.Transport()
+	if me != root {
+		freeUpTo := c.cfg.Banks // fragments the root has released
+		fr := 0
+		coll.Segments(send.Len, c.cfg.FragSize, func(off, n int64) {
+			f := fr
+			fr++
+			for f >= freeUpTo {
+				m, _ := r.RecvOOB(root, tag+1)
+				freeUpTo = m.(bankFree).f + c.cfg.Banks + 1
+			}
+			tr.CopyIn(r.Proc(), me, c.bank(me, f), send.SubView(off, n))
+			r.SendOOB(root, tag, fragNote{f: f})
+		})
+		return
+	}
+	// Root: its own block locally, then drain children rank by rank as
+	// fragments arrive (single consumer core).
+	blk := send.Len
+	r.LocalCopy(recv.SubView(int64(me)*blk, blk), send)
+	pendingNotes := make(map[int][]int)
+	nextFrag := make([]int, p)
+	done := 0
+	total := (p - 1) * coll.NumSegments(blk, c.cfg.FragSize)
+	for done < total {
+		m, from := r.RecvOOB(mpi.AnySource, tag)
+		pendingNotes[from] = append(pendingNotes[from], m.(fragNote).f)
+		for len(pendingNotes[from]) > 0 && pendingNotes[from][0] == nextFrag[from] {
+			f := pendingNotes[from][0]
+			pendingNotes[from] = pendingNotes[from][1:]
+			off := int64(f) * c.cfg.FragSize
+			n := c.cfg.FragSize
+			if rem := blk - off; rem < n {
+				n = rem
+			}
+			tr.CopyOut(r.Proc(), me, recv.SubView(int64(from)*blk+off, n), c.bank(from, f))
+			r.SendOOB(from, tag+1, bankFree{f: f})
+			nextFrag[from]++
+			done++
+		}
+	}
+}
+
+// Scatter delegates to Tuned (Graham et al. specialize fan-out/fan-in for
+// Bcast/Reduce-style patterns).
+func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
+	c.fb.Scatter(r, send, recv, root)
+}
+
+// Barrier delegates to Tuned.
+func (c *Component) Barrier(r *mpi.Rank) { c.fb.Barrier(r) }
+
+// Allgather delegates to Tuned.
+func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) { c.fb.Allgather(r, send, recv) }
+
+// Alltoall delegates to Tuned.
+func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) { c.fb.Alltoall(r, send, recv) }
+
+// Gatherv delegates to Tuned.
+func (c *Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
+}
+
+// Scatterv delegates to Tuned.
+func (c *Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
+}
+
+// Allgatherv delegates to Tuned.
+func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	c.fb.Allgatherv(r, send, recv, rcounts, rdispls)
+}
+
+// Alltoallv delegates to Tuned.
+func (c *Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	c.fb.Alltoallv(r, send, scounts, sdispls, recv, rcounts, rdispls)
+}
+
+// Reduce fans partial results in through the shared banks (the fan-in
+// side of Graham et al.): each rank combines its children's fragments
+// into an accumulator and streams the result up through its own banks,
+// fragment by fragment.
+func (c *Component) Reduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp, root int) {
+	p := r.Size()
+	me := r.ID()
+	if p == 1 {
+		r.LocalCopy(recv.SubView(0, send.Len), send)
+		return
+	}
+	tag := r.CollTag()
+	parent, children := c.tree(me, root, p)
+
+	accum := recv
+	if me != root {
+		accum = r.Alloc(send.Len).Whole()
+	}
+	accum = accum.SubView(0, send.Len)
+	r.LocalCopy(accum, send)
+
+	temp := r.Alloc(c.cfg.FragSize).Whole()
+	freeUpTo := c.cfg.Banks
+	fr := 0
+	coll.Segments(send.Len, c.cfg.FragSize, func(off, n int64) {
+		f := fr
+		fr++
+		// Pull fragment f from every child's bank as it is announced.
+		for _, ch := range children {
+			m, _ := r.RecvOOB(ch, tag)
+			if m.(fragNote).f != f {
+				panic("smcoll: reduce fragment out of order")
+			}
+			c.w.Net().Copy(r.Proc(), r.Core(), temp.SubView(0, n), c.bank(ch, f).SubView(0, n))
+			r.ApplyReduce(op, accum.SubView(off, n), temp.SubView(0, n))
+			r.SendOOB(ch, tag+1, bankFree{f: f})
+		}
+		if parent == -1 {
+			return
+		}
+		// Publish the combined fragment to the parent through own banks.
+		for f >= freeUpTo {
+			m, _ := r.RecvOOB(parent, tag+1)
+			freeUpTo = m.(bankFree).f + c.cfg.Banks + 1
+		}
+		c.w.Net().Copy(r.Proc(), r.Core(), c.bank(me, f).SubView(0, n), accum.SubView(off, n))
+		r.SendOOB(parent, tag, fragNote{f: f})
+	})
+}
+
+// Allreduce is the fan-in reduce followed by the fan-out broadcast.
+func (c *Component) Allreduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	c.Reduce(r, send, recv, op, 0)
+	c.Bcast(r, recv.SubView(0, send.Len), 0)
+}
+
+// ReduceScatterBlock delegates to Tuned.
+func (c *Component) ReduceScatterBlock(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	c.fb.ReduceScatterBlock(r, send, recv, op)
+}

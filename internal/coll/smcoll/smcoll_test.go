@@ -1,0 +1,133 @@
+package smcoll
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func TestTreeShape(t *testing.T) {
+	w, err := mpi.NewWorld(mpi.Options{Machine: topology.Zoot(), Coll: New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Coll().(*Component)
+	p := 16
+	childOf := map[int]int{}
+	for r := 0; r < p; r++ {
+		parent, children := c.tree(r, 0, p)
+		if len(children) > c.cfg.Degree {
+			t.Fatalf("rank %d has %d children, degree %d", r, len(children), c.cfg.Degree)
+		}
+		if r == 0 && parent != -1 {
+			t.Fatal("root has a parent")
+		}
+		for _, ch := range children {
+			if _, dup := childOf[ch]; dup {
+				t.Fatalf("rank %d has two parents", ch)
+			}
+			childOf[ch] = r
+		}
+	}
+	if len(childOf) != p-1 {
+		t.Fatalf("tree has %d edges, want %d", len(childOf), p-1)
+	}
+	// Rotated root.
+	parent, _ := c.tree(5, 5, p)
+	if parent != -1 {
+		t.Fatal("rotated root has a parent")
+	}
+}
+
+func TestBcastThroughBanks(t *testing.T) {
+	// Message much larger than Banks*FragSize forces bank reuse and the
+	// flow-control path.
+	_, w, err := mpi.Run(mpi.Options{
+		Machine:  topology.Zoot(),
+		WithData: true,
+		Coll: func(w *mpi.World) mpi.Coll {
+			return NewWithConfig(w, Config{Degree: 3, FragSize: 8 << 10, Banks: 2})
+		},
+	}, func(r *mpi.Rank) {
+		b := r.Alloc(200_000) // 25 fragments, unaligned tail
+		if r.ID() == 2 {
+			for i := range b.Data {
+				b.Data[i] = byte(i * 13)
+			}
+		}
+		r.Bcast(b.Whole(), 2)
+		for i := 0; i < 200_000; i += 1009 {
+			if b.Data[i] != byte(i*13) {
+				t.Errorf("rank %d byte %d wrong", r.ID(), i)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+}
+
+func TestGatherThroughBanks(t *testing.T) {
+	const blk = 50_000
+	_, _, err := mpi.Run(mpi.Options{
+		Machine:  topology.Dancer(),
+		WithData: true,
+		Coll: func(w *mpi.World) mpi.Coll {
+			return NewWithConfig(w, Config{FragSize: 8 << 10, Banks: 2})
+		},
+	}, func(r *mpi.Rank) {
+		send := r.Alloc(blk)
+		for i := range send.Data {
+			send.Data[i] = byte(r.ID()*11 + i)
+		}
+		var recv memsim.View
+		var rb *memsim.Buffer
+		if r.ID() == 0 {
+			rb = r.Alloc(8 * blk)
+			recv = rb.Whole()
+		}
+		r.Gather(send.Whole(), recv, 0)
+		if r.ID() == 0 {
+			for src := 0; src < 8; src++ {
+				for i := 0; i < blk; i += 499 {
+					if rb.Data[src*blk+i] != byte(src*11+i) {
+						t.Errorf("block %d byte %d wrong", src, i)
+						return
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fan-out tree is topology-oblivious by design: on IG its edges cross
+// NUMA domains that the hierarchical KNEM tree would avoid — the paper's
+// §II critique. Assert the structural fact.
+func TestTreeIgnoresTopology(t *testing.T) {
+	m := topology.IG()
+	w, err := mpi.NewWorld(mpi.Options{Machine: m, Coll: New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Coll().(*Component)
+	cross := 0
+	for r := 0; r < 48; r++ {
+		parent, _ := c.tree(r, 0, 48)
+		if parent == -1 {
+			continue
+		}
+		if w.Rank(r).Core().Domain != w.Rank(parent).Core().Domain {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatal("rank-order tree unexpectedly respects NUMA domains")
+	}
+}

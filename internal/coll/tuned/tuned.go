@@ -1,0 +1,187 @@
+// Package tuned models Open MPI's Tuned collective component (§II of the
+// paper): a menu of algorithms per operation with message-size and
+// communicator-size switch points, running over whatever point-to-point
+// BTL the world is configured with (SM copy-in/copy-out, or SM/KNEM).
+// Teamed with BTLSM it is the paper's "Tuned-SM" baseline; with BTLKNEM it
+// is "Tuned-KNEM".
+//
+// Decision rules follow Open MPI's fixed decision functions in shape:
+//
+//	Bcast:     binomial (small) -> pipelined binary tree (intermediate,
+//	           standing in for split-binary) -> pipelined chain (large)
+//	Gather:    binomial (small) -> linear (large)
+//	Scatter:   binomial (small) -> linear (large)
+//	Allgather: recursive doubling (small, power of two) -> ring (large)
+//	Alltoall:  linear (small) -> pairwise (large)
+//
+// The exact thresholds are tunable; the defaults below are the shapes the
+// paper describes ("binomial for small, split binary for intermediate,
+// pipeline for large").
+package tuned
+
+import (
+	"repro/internal/coll"
+	"repro/internal/coll/basic"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Config carries the switch points.
+type Config struct {
+	BcastBinomialMax int64 // <= : binomial (default 8 KiB)
+	BcastTreeMax     int64 // <= : pipelined binary tree (default 512 KiB)
+	BcastTreeSeg     int64 // binary-tree segment size (default 32 KiB)
+	BcastChainSeg    int64 // chain segment size (default 128 KiB)
+	GatherBinMax     int64 // <= : binomial gather/scatter (default 16 KiB blocks)
+	AllgatherRDMax   int64 // <= : recursive doubling if pow2 (default 64 KiB blocks)
+	AlltoallLinMax   int64 // <= : linear alltoall (default 4 KiB blocks)
+}
+
+func (c *Config) fill() {
+	if c.BcastBinomialMax == 0 {
+		c.BcastBinomialMax = 8 << 10
+	}
+	if c.BcastTreeMax == 0 {
+		c.BcastTreeMax = 512 << 10
+	}
+	if c.BcastTreeSeg == 0 {
+		c.BcastTreeSeg = 32 << 10
+	}
+	if c.BcastChainSeg == 0 {
+		c.BcastChainSeg = 128 << 10
+	}
+	if c.GatherBinMax == 0 {
+		c.GatherBinMax = 16 << 10
+	}
+	if c.AllgatherRDMax == 0 {
+		c.AllgatherRDMax = 64 << 10
+	}
+	if c.AlltoallLinMax == 0 {
+		c.AlltoallLinMax = 4 << 10
+	}
+}
+
+// Component is the Tuned collective component.
+type Component struct {
+	cfg    Config
+	linear *basic.Component
+}
+
+// New builds the component with default switch points.
+func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
+
+// NewWithConfig builds the component with explicit switch points.
+func NewWithConfig(_ *mpi.World, cfg Config) mpi.Coll {
+	cfg.fill()
+	return &Component{cfg: cfg, linear: &basic.Component{}}
+}
+
+// Name implements mpi.Coll.
+func (*Component) Name() string { return "tuned" }
+
+// Barrier implements mpi.Coll.
+func (c *Component) Barrier(r *mpi.Rank) { c.linear.Barrier(r) }
+
+// Bcast selects binomial, pipelined binary tree, or pipelined chain by
+// message size.
+func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	switch {
+	case v.Len <= c.cfg.BcastBinomialMax || r.Size() <= 2:
+		coll.BcastBinomial(r, v, root, tag)
+	case v.Len <= c.cfg.BcastTreeMax:
+		coll.BcastBinaryPipelined(r, v, root, tag, c.cfg.BcastTreeSeg)
+	default:
+		coll.BcastChainPipelined(r, v, root, tag, c.cfg.BcastChainSeg)
+	}
+}
+
+// Gather is binomial for small blocks, linear for large ones.
+func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
+	if send.Len <= c.cfg.GatherBinMax {
+		coll.GatherBinomial(r, send, recv, root, r.CollTag())
+		return
+	}
+	c.linear.Gather(r, send, recv, root)
+}
+
+// Scatter is binomial for small blocks, linear for large ones.
+func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
+	if recv.Len <= c.cfg.GatherBinMax {
+		coll.ScatterBinomial(r, send, recv, root, r.CollTag())
+		return
+	}
+	c.linear.Scatter(r, send, recv, root)
+}
+
+// Allgather is recursive doubling for small power-of-two worlds, ring
+// otherwise.
+func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
+	p := r.Size()
+	if p&(p-1) == 0 && send.Len <= c.cfg.AllgatherRDMax {
+		coll.AllgatherRecDoubling(r, send, recv, r.CollTag())
+		return
+	}
+	coll.AllgatherRing(r, send, recv, r.CollTag())
+}
+
+// Alltoall is linear for small blocks, pairwise for large ones.
+func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
+	blk := send.Len / int64(r.Size())
+	if blk <= c.cfg.AlltoallLinMax {
+		c.linear.Alltoall(r, send, recv)
+		return
+	}
+	coll.AlltoallPairwise(r, send, recv, r.CollTag())
+}
+
+// Gatherv is linear (Open MPI Tuned delegates irregular collectives).
+func (c *Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	c.linear.Gatherv(r, send, recv, rcounts, rdispls, root)
+}
+
+// Scatterv is linear.
+func (c *Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	c.linear.Scatterv(r, send, scounts, sdispls, recv, root)
+}
+
+// Allgatherv rings the variable blocks.
+func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	coll.AllgathervRing(r, send, recv, rcounts, rdispls, r.CollTag())
+}
+
+// Alltoallv is pairwise.
+func (c *Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	coll.AlltoallvPairwise(r, send, scounts, sdispls, recv, rcounts, rdispls, r.CollTag())
+}
+
+// Reduce combines up the binomial tree.
+func (c *Component) Reduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp, root int) {
+	coll.ReduceBinomial(r, send, recv, op, root, r.CollTag())
+}
+
+// Allreduce uses recursive doubling for small vectors and Rabenseifner's
+// reduce-scatter + allgather for large ones (power-of-two ranks; other
+// counts fall back to reduce + broadcast).
+func (c *Component) Allreduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	p := r.Size()
+	pow2 := p&(p-1) == 0
+	switch {
+	case pow2 && send.Len <= c.cfg.AllgatherRDMax:
+		coll.AllreduceRecDoubling(r, send, recv, op, r.CollTag())
+	case pow2 && send.Len%int64(p) == 0:
+		coll.AllreduceRabenseifner(r, send, recv, op, r.CollTag())
+	default:
+		c.Reduce(r, send, recv, op, 0)
+		c.Bcast(r, recv.SubView(0, send.Len), 0)
+	}
+}
+
+// ReduceScatterBlock uses recursive halving on power-of-two ranks.
+func (c *Component) ReduceScatterBlock(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	if p := r.Size(); p&(p-1) == 0 {
+		coll.ReduceScatterBlockHalving(r, send, recv, op, r.CollTag())
+		return
+	}
+	c.linear.ReduceScatterBlock(r, send, recv, op)
+}

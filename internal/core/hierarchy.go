@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/knem"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Hierarchical pipelined Broadcast (§IV, Fig. 1).
+//
+// Ranks are split into sets by NUMA domain. The first tree level holds one
+// leader per domain (the root acts as leader of its own domain); every
+// other rank is a leaf under its domain leader. A single transfer crosses
+// the interconnect toward each remote domain (the leader's read), leaves
+// read from their leader's buffer — which their shared cache has just been
+// warmed with — and the transfer is segmented so leaf copies of segment s
+// overlap the leader's read of segment s+1.
+//
+// Out-of-band protocol per Broadcast (tag strides):
+//
+//	tag+0  root   -> locals & remote leaders : root region cookie
+//	tag+1  locals & remote leaders -> root   : final ACK
+//	tag+2  leader -> its members             : leader region cookie
+//	tag+3  leader -> its members             : "segment s landed"
+//	tag+4  members -> leader                 : final ACK
+
+func (c *Component) bcastHierarchical(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	me := r.ID()
+	rootDom := c.domainOf[root]
+	myDom := c.domainOf[me]
+	seg := c.segSize(v.Len)
+
+	leaderOf := func(d int) int {
+		if d == rootDom {
+			return root
+		}
+		return c.members[d][0]
+	}
+
+	switch {
+	case me == root:
+		ck := c.mustCreate(r, v, knem.DirRead)
+		targets := 0
+		for _, m := range c.members[rootDom] {
+			if m != root {
+				r.SendOOB(m, tag, cookieMsg{cookie: ck, n: v.Len})
+				targets++
+			}
+		}
+		for d := range c.members {
+			if d != rootDom && len(c.members[d]) > 0 {
+				r.SendOOB(leaderOf(d), tag, cookieMsg{cookie: ck, n: v.Len})
+				targets++
+			}
+		}
+		c.finishRoot(r, ck, tag+1, targets)
+
+	case myDom == rootDom:
+		// Local leaf of the root's domain: one direct full read.
+		msg, _ := r.RecvOOB(root, tag)
+		cm := msg.(cookieMsg)
+		c.mustCopy(r, v, cm.cookie, 0, knem.DirRead)
+		r.SendOOB(root, tag+1, ackMsg{})
+
+	case me == leaderOf(myDom):
+		c.bcastLeader(r, v, root, tag, seg)
+
+	default:
+		c.bcastLeaf(r, v, leaderOf(myDom), tag, seg)
+	}
+}
+
+// bcastLeader pulls the message from the root segment by segment,
+// announcing each landed segment to its domain's leaves.
+func (c *Component) bcastLeader(r *mpi.Rank, v memsim.View, root, tag int, seg int64) {
+	me := r.ID()
+	var leaves []int
+	for _, m := range c.members[c.domainOf[me]] {
+		if m != me {
+			leaves = append(leaves, m)
+		}
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	rootCk := msg.(cookieMsg).cookie
+
+	if len(leaves) == 0 {
+		// Alone on the domain: a single full read, no local level.
+		c.mustCopy(r, v, rootCk, 0, knem.DirRead)
+		r.SendOOB(root, tag+1, ackMsg{})
+		return
+	}
+	ownCk := c.mustCreate(r, v, knem.DirRead)
+	for _, l := range leaves {
+		r.SendOOB(l, tag+2, cookieMsg{cookie: ownCk, n: v.Len})
+	}
+	s := 0
+	for off := int64(0); off < v.Len; off += seg {
+		n := seg
+		if rem := v.Len - off; rem < n {
+			n = rem
+		}
+		c.mustCopy(r, v.SubView(off, n), rootCk, off, knem.DirRead)
+		for _, l := range leaves {
+			r.SendOOB(l, tag+3, segReady{seg: s})
+		}
+		s++
+	}
+	// The leader's duty to the root ends with its own reads; its region
+	// must only outlive the leaves' reads.
+	r.SendOOB(root, tag+1, ackMsg{})
+	c.finishRoot(r, ownCk, tag+4, len(leaves))
+}
+
+// bcastLeaf reads each segment from its leader's region as soon as the
+// leader announces it.
+func (c *Component) bcastLeaf(r *mpi.Rank, v memsim.View, leader, tag int, seg int64) {
+	msg, _ := r.RecvOOB(leader, tag+2)
+	ck := msg.(cookieMsg).cookie
+	s := 0
+	for off := int64(0); off < v.Len; off += seg {
+		n := seg
+		if rem := v.Len - off; rem < n {
+			n = rem
+		}
+		ready, _ := r.RecvOOB(leader, tag+3)
+		if got := ready.(segReady).seg; got != s {
+			panic("core: pipeline segment out of order")
+		}
+		c.mustCopy(r, v.SubView(off, n), ck, off, knem.DirRead)
+		s++
+	}
+	r.SendOOB(leader, tag+4, ackMsg{})
+}

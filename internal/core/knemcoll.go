@@ -1,0 +1,532 @@
+// Package core implements KNEM-Coll, the paper's contribution: an Open
+// MPI-style collective component that drives the KNEM kernel module
+// directly from the collective algorithms instead of through point-to-point
+// primitives (§V). The shared-memory transport is used only as an
+// out-of-band channel for cookies and synchronization.
+//
+// The component exploits the three KNEM extensions of §III-B:
+//
+//   - persistent regions: one registration per collective, not per peer;
+//   - direction control: receiver-reads for one-to-all (Broadcast,
+//     Scatter, Alltoall), sender-writes for all-to-one (Gather), so every
+//     non-root core executes its own copy in parallel and the root core
+//     stops being the serial bottleneck;
+//   - granularity control: peers copy arbitrary sub-ranges, enabling
+//     Scatter offsets, the rotated Alltoall schedule, and the segment
+//     pipeline of the hierarchical Broadcast.
+//
+// Operations below the kernel-trap profitability threshold (16 KiB, §V-A)
+// are delegated to the fallback component (Open MPI Tuned by default), as
+// are operations the component does not specialize.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/coll/tuned"
+	"repro/internal/knem"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Mode selects the Broadcast topology.
+type Mode int
+
+const (
+	// ModeAuto uses the hierarchical algorithm on NUMA machines (more
+	// than one memory domain) and the linear algorithm on UMA machines
+	// like Zoot, reflecting the paper's per-platform choices (§IV, §VI-E:
+	// linear on Zoot, hierarchical pipelined on the NUMA nodes).
+	ModeAuto Mode = iota
+	// ModeLinear forces the flat single-region Broadcast.
+	ModeLinear
+	// ModeHierarchical forces the two-level NUMA tree.
+	ModeHierarchical
+	// ModeMultiLevel uses the full physical hierarchy (boards, then NUMA
+	// domains, then cores) — the dynamic topology mapping the paper
+	// defers to future work (§V-B).
+	ModeMultiLevel
+)
+
+// Config tunes the component.
+type Config struct {
+	// Threshold is the smallest message the KNEM paths handle; smaller
+	// operations delegate to the fallback (default 16 KiB).
+	Threshold int64
+	// Mode selects the Broadcast topology.
+	Mode Mode
+	// SegIntermediate and SegLarge are the hierarchical pipeline segment
+	// sizes tuned in Fig. 4: 16 KiB below LargeMin, 512 KiB at or above.
+	SegIntermediate int64
+	SegLarge        int64
+	LargeMin        int64
+	// FixedSeg, if nonzero, overrides the segment size (Fig. 4 sweeps).
+	FixedSeg int64
+	// NoPipeline disables segmentation in the hierarchical Broadcast
+	// (the Fig. 4 normalization baseline).
+	NoPipeline bool
+	// DMADepth > 0 offloads Alltoall(v) copies to the per-domain I/OAT
+	// DMA engines (§III) with up to DMADepth transfers in flight per
+	// rank: the engine streams one block while the core sets up the
+	// next, instead of serializing the P-1 reads on the core. Ignored on
+	// machines without DMA engines (Spec.DMABw == 0).
+	DMADepth int
+	// RingAllgather replaces the paper's Gather+Bcast Allgather
+	// composition (§V-C) with the ring-style algorithm the paper
+	// announces for the next release (§VI-D), removing the root-NUMA
+	// bottleneck on large nodes. Off by default to stay faithful to the
+	// published component.
+	RingAllgather bool
+	// LazySync defers the root-side synchronization of rooted operations:
+	// instead of idling for every peer's ACK before returning (§V-B step
+	// 6), the root returns once the cookies are out and drains the ACKs —
+	// deregistering the region — when it next enters the component. This
+	// follows §III-B's persistent-region rationale (regions outlive a
+	// single access; synchronization overhead is amortized) and matters
+	// for applications like ASP whose per-rank compute is uneven: the
+	// root stops absorbing the stragglers' skew. The strict protocol
+	// (default) matches §V-B exactly.
+	LazySync bool
+	// Fallback builds the delegate component (default: Open MPI Tuned).
+	Fallback func(w *mpi.World) mpi.Coll
+}
+
+func (c *Config) fill() {
+	if c.Threshold == 0 {
+		c.Threshold = 16 << 10
+	}
+	if c.SegIntermediate == 0 {
+		c.SegIntermediate = 16 << 10
+	}
+	if c.SegLarge == 0 {
+		c.SegLarge = 512 << 10
+	}
+	if c.LargeMin == 0 {
+		c.LargeMin = 2 << 20
+	}
+	if c.Fallback == nil {
+		c.Fallback = tuned.New
+	}
+}
+
+// Component is the KNEM collective component.
+type Component struct {
+	w   *mpi.World
+	cfg Config
+	fb  mpi.Coll
+	// domainOf[rank] and members[domainID] describe rank locality,
+	// derived from hwloc-style topology information (§IV).
+	domainOf []int
+	members  [][]int
+	// pending holds each rank's deferred region synchronization when
+	// LazySync is on: outstanding ACK count, their tag, and the region
+	// to deregister once they are in.
+	pending map[int]*pendingSync
+}
+
+type pendingSync struct {
+	cookie knem.Cookie
+	tag    int
+	nACKs  int
+}
+
+// drainPending completes rank r's deferred synchronization from its
+// previous rooted operation, deregistering the old region.
+func (c *Component) drainPending(r *mpi.Rank) {
+	ps := c.pending[r.ID()]
+	if ps == nil {
+		return
+	}
+	delete(c.pending, r.ID())
+	for i := 0; i < ps.nACKs; i++ {
+		r.RecvOOB(mpi.AnySource, ps.tag)
+	}
+	c.mustDestroy(r, ps.cookie)
+}
+
+// finishRoot either waits for the peers' ACKs and deregisters now (strict
+// §V-B protocol) or defers both to the rank's next entry (LazySync).
+func (c *Component) finishRoot(r *mpi.Rank, ck knem.Cookie, ackTag, nACKs int) {
+	if c.cfg.LazySync {
+		c.pending[r.ID()] = &pendingSync{cookie: ck, tag: ackTag, nACKs: nACKs}
+		return
+	}
+	for i := 0; i < nACKs; i++ {
+		r.RecvOOB(mpi.AnySource, ackTag)
+	}
+	c.mustDestroy(r, ck)
+}
+
+// FlushPending drains every deferred synchronization this rank still owes
+// (call before tearing down a world or asserting region counts).
+func (c *Component) FlushPending(r *mpi.Rank) { c.drainPending(r) }
+
+// New builds the component with default configuration.
+func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
+
+// NewWithConfig builds the component with explicit configuration.
+func NewWithConfig(w *mpi.World, cfg Config) mpi.Coll {
+	cfg.fill()
+	c := &Component{w: w, cfg: cfg, fb: cfg.Fallback(w), pending: make(map[int]*pendingSync)}
+	nd := len(w.Machine().Domains)
+	c.members = make([][]int, nd)
+	for rank := 0; rank < w.Size(); rank++ {
+		d := w.Rank(rank).Core().Domain.ID
+		c.domainOf = append(c.domainOf, d)
+		c.members[d] = append(c.members[d], rank)
+	}
+	return c
+}
+
+// Name implements mpi.Coll.
+func (*Component) Name() string { return "knemcoll" }
+
+// Fallback exposes the delegate (tests).
+func (c *Component) Fallback() mpi.Coll { return c.fb }
+
+func (c *Component) hierarchical() bool {
+	switch c.cfg.Mode {
+	case ModeLinear:
+		return false
+	case ModeHierarchical:
+		return true
+	}
+	if len(c.w.Machine().Domains) < 2 {
+		return false
+	}
+	// A hierarchy needs leaves: with one rank per domain the tree
+	// degenerates to the linear algorithm anyway.
+	return c.w.Size() > len(c.w.Machine().Domains)
+}
+
+// segSize returns the pipeline segment size for an n-byte Broadcast.
+func (c *Component) segSize(n int64) int64 {
+	if c.cfg.NoPipeline {
+		return n
+	}
+	if c.cfg.FixedSeg != 0 {
+		return c.cfg.FixedSeg
+	}
+	if n >= c.cfg.LargeMin {
+		return c.cfg.SegLarge
+	}
+	return c.cfg.SegIntermediate
+}
+
+// Out-of-band payloads.
+type (
+	cookieMsg struct {
+		cookie knem.Cookie
+		off    int64 // where the receiver should start in the region
+		n      int64 // how many bytes concern the receiver
+	}
+	segReady struct {
+		seg int
+	}
+	ackMsg struct{}
+	a2aMsg struct {
+		cookie  knem.Cookie
+		sdispls []int64
+	}
+)
+
+func (c *Component) mustCopy(r *mpi.Rank, local memsim.View, ck knem.Cookie, off int64, dir knem.Direction) {
+	err := c.w.Knem().Copy(r.Proc(), r.Core(), []memsim.View{local}, ck, off, dir)
+	if err != nil {
+		panic(fmt.Sprintf("core: rank %d knem copy: %v", r.ID(), err))
+	}
+}
+
+func (c *Component) mustCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) knem.Cookie {
+	ck, err := c.w.Knem().Create(r.Proc(), r.ID(), []memsim.View{v}, dir)
+	if err != nil {
+		panic(fmt.Sprintf("core: rank %d knem create: %v", r.ID(), err))
+	}
+	return ck
+}
+
+func (c *Component) mustDestroy(r *mpi.Rank, ck knem.Cookie) {
+	if err := c.w.Knem().Destroy(r.Proc(), ck); err != nil {
+		panic(fmt.Sprintf("core: rank %d knem destroy: %v", r.ID(), err))
+	}
+}
+
+// Barrier delegates to the fallback component.
+func (c *Component) Barrier(r *mpi.Rank) {
+	c.drainPending(r)
+	c.fb.Barrier(r)
+}
+
+// Bcast implements §V-B: linear single-region broadcast, or the
+// hierarchical pipelined algorithm of §IV on deeply NUMA machines.
+func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
+	c.drainPending(r)
+	if v.Len < c.cfg.Threshold || r.Size() == 1 {
+		c.fb.Bcast(r, v, root)
+		return
+	}
+	if c.cfg.Mode == ModeMultiLevel {
+		c.bcastMultiLevel(r, v, root)
+		return
+	}
+	if c.hierarchical() {
+		c.bcastHierarchical(r, v, root)
+		return
+	}
+	c.bcastLinear(r, v, root)
+}
+
+// bcastLinear: the root declares one read region; every receiver core
+// copies the full buffer in parallel, then ACKs; the root deregisters
+// after all ACKs (§V-B steps 1-6).
+func (c *Component) bcastLinear(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	p := r.Size()
+	if r.ID() == root {
+		ck := c.mustCreate(r, v, knem.DirRead)
+		for i := 0; i < p; i++ {
+			if i != root {
+				r.SendOOB(i, tag, cookieMsg{cookie: ck, n: v.Len})
+			}
+		}
+		c.finishRoot(r, ck, tag+1, p-1)
+		return
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	c.mustCopy(r, v, cm.cookie, cm.off, knem.DirRead)
+	r.SendOOB(root, tag+1, ackMsg{})
+}
+
+// Scatter sends block i of the root buffer to rank i; receivers read their
+// own offset (granularity control), so the root performs no copies at all.
+func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
+	c.drainPending(r)
+	if recv.Len < c.cfg.Threshold || r.Size() == 1 {
+		c.fb.Scatter(r, send, recv, root)
+		return
+	}
+	counts, displs := coll.Uniform(r.Size(), recv.Len)
+	c.scatterKnem(r, send, counts, displs, recv, root)
+}
+
+// Scatterv is the vector scatter over one read region. Vector variants
+// always take the KNEM path: per-rank counts are not globally known, so a
+// size-based switch could pick different algorithms on different ranks.
+func (c *Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	c.drainPending(r)
+	if r.Size() == 1 {
+		c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
+		return
+	}
+	c.scatterKnem(r, send, scounts, sdispls, recv, root)
+}
+
+func (c *Component) scatterKnem(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	tag := r.CollTag()
+	p := r.Size()
+	if r.ID() == root {
+		ck := c.mustCreate(r, send, knem.DirRead)
+		for i := 0; i < p; i++ {
+			if i != root {
+				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: sdispls[i], n: scounts[i]})
+			}
+		}
+		r.LocalCopy(recv.SubView(0, scounts[root]), coll.VBlock(send, scounts, sdispls, root))
+		c.finishRoot(r, ck, tag+1, p-1)
+		return
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	c.mustCopy(r, recv.SubView(0, cm.n), cm.cookie, cm.off, knem.DirRead)
+	r.SendOOB(root, tag+1, ackMsg{})
+}
+
+// Gather uses direction control (§V-B): the root declares its receive
+// buffer as a write region and all non-root processes write their blocks
+// simultaneously — impossible with point-to-point semantics.
+func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
+	c.drainPending(r)
+	if send.Len < c.cfg.Threshold || r.Size() == 1 {
+		c.fb.Gather(r, send, recv, root)
+		return
+	}
+	counts, displs := coll.Uniform(r.Size(), send.Len)
+	c.gatherKnem(r, send, recv, counts, displs, root)
+}
+
+// Gatherv is the vector gather over one write region (always the KNEM
+// path: counts are only significant at the root, so no globally
+// consistent size switch exists).
+func (c *Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	c.drainPending(r)
+	if r.Size() == 1 {
+		c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
+		return
+	}
+	c.gatherKnem(r, send, recv, rcounts, rdispls, root)
+}
+
+func (c *Component) gatherKnem(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	tag := r.CollTag()
+	p := r.Size()
+	if r.ID() == root {
+		ck := c.mustCreate(r, recv, knem.DirWrite)
+		for i := 0; i < p; i++ {
+			if i != root {
+				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: rdispls[i], n: rcounts[i]})
+			}
+		}
+		r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, root), send.SubView(0, rcounts[root]))
+		for i := 0; i < p-1; i++ {
+			r.RecvOOB(mpi.AnySource, tag+1)
+		}
+		c.mustDestroy(r, ck)
+		return
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	c.mustCopy(r, send.SubView(0, cm.n), cm.cookie, cm.off, knem.DirWrite)
+	r.SendOOB(root, tag+1, ackMsg{})
+}
+
+// Allgather is the paper's assembly of a KNEM Gather to rank 0 followed by
+// a KNEM Broadcast (§V-C) — simple, and deliberately kept with its known
+// root-bottleneck weakness on large NUMA nodes (§VI-D analyses it).
+func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
+	c.drainPending(r)
+	if send.Len < c.cfg.Threshold || r.Size() == 1 {
+		c.fb.Allgather(r, send, recv)
+		return
+	}
+	if c.cfg.RingAllgather {
+		counts, displs := coll.Uniform(r.Size(), send.Len)
+		c.allgatherRing(r, send, recv.SubView(0, send.Len*int64(r.Size())), counts, displs)
+		return
+	}
+	c.Gather(r, send, recv, 0)
+	c.Bcast(r, recv.SubView(0, send.Len*int64(r.Size())), 0)
+}
+
+// Allgatherv gathers to rank 0 and broadcasts the full extent.
+// It may gate on counts: MPI requires identical rcounts/rdispls
+// on every rank, so the decision is globally consistent.
+func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	c.drainPending(r)
+	if maxCount(rcounts) < c.cfg.Threshold || r.Size() == 1 {
+		c.fb.Allgatherv(r, send, recv, rcounts, rdispls)
+		return
+	}
+	if c.cfg.RingAllgather {
+		c.allgatherRing(r, send, recv, rcounts, rdispls)
+		return
+	}
+	c.Gatherv(r, send, recv, rcounts, rdispls, 0)
+	c.Bcast(r, recv.SubView(0, coll.Total(rcounts, rdispls)), 0)
+}
+
+// Alltoall rotates reads so each sender's memory is accessed by exactly
+// one peer per step (§V-C, Fig. 3).
+func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
+	c.drainPending(r)
+	blk := send.Len / int64(r.Size())
+	if blk < c.cfg.Threshold || r.Size() == 1 {
+		c.fb.Alltoall(r, send, recv)
+		return
+	}
+	counts, displs := coll.Uniform(r.Size(), blk)
+	c.alltoallKnem(r, send, counts, displs, recv, counts, displs)
+}
+
+// Alltoallv is the rotated exchange with per-peer counts (always the
+// KNEM path: each rank only sees its own counts, so a size switch could
+// disagree across ranks).
+func (c *Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	c.drainPending(r)
+	if r.Size() == 1 {
+		c.fb.Alltoallv(r, send, scounts, sdispls, recv, rcounts, rdispls)
+		return
+	}
+	c.alltoallKnem(r, send, scounts, sdispls, recv, rcounts, rdispls)
+}
+
+func (c *Component) alltoallKnem(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	tag := r.CollTag()
+	p := r.Size()
+	me := r.ID()
+	// Declare the send buffer once and publish the cookie (the paper's
+	// out-of-band allgather of cookies) together with the displacements
+	// peers need to locate their blocks.
+	ck := c.mustCreate(r, send, knem.DirRead)
+	for i := 0; i < p; i++ {
+		if i != me {
+			r.SendOOB(i, tag, a2aMsg{cookie: ck, sdispls: sdispls})
+		}
+	}
+	r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, me), coll.VBlock(send, scounts, sdispls, me))
+	peers := make(map[int]a2aMsg, p-1)
+	useDMA := c.cfg.DMADepth > 0 && c.w.Machine().DMA[r.Core().Domain.ID] != nil
+	var inflight []*knem.Op
+	// Fetch blocks in rotated order: step k reads from me+k, so at any
+	// instant each sender's region has one reader.
+	for step := 1; step < p; step++ {
+		peer := (me + step) % p
+		pm, ok := peers[peer]
+		for !ok {
+			msg, from := r.RecvOOB(mpi.AnySource, tag)
+			peers[from] = msg.(a2aMsg)
+			pm, ok = peers[peer]
+		}
+		dst := coll.VBlock(recv, rcounts, rdispls, peer)
+		if useDMA {
+			op, err := c.w.Knem().CopyDMA(r.Proc(), r.Core(), []memsim.View{dst}, pm.cookie, pm.sdispls[me], knem.DirRead)
+			if err != nil {
+				panic(fmt.Sprintf("core: rank %d dma copy: %v", me, err))
+			}
+			inflight = append(inflight, op)
+			if len(inflight) > c.cfg.DMADepth {
+				inflight[0].Wait(r.Proc())
+				inflight = inflight[1:]
+			}
+			continue
+		}
+		c.mustCopy(r, dst, pm.cookie, pm.sdispls[me], knem.DirRead)
+	}
+	for _, op := range inflight {
+		op.Wait(r.Proc())
+	}
+	// Nobody may deregister while peers might still read (§V-C).
+	coll.Dissemination(r, tag+2)
+	c.mustDestroy(r, ck)
+}
+
+func maxCount(counts []int64) int64 {
+	var m int64
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Reduce delegates to the fallback: KNEM moves bytes but cannot combine
+// them in kernel space, so reductions are outside the component's scope
+// (handled like any unimplemented collective, §V-A).
+func (c *Component) Reduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp, root int) {
+	c.drainPending(r)
+	c.fb.Reduce(r, send, recv, op, root)
+}
+
+// Allreduce delegates to the fallback.
+func (c *Component) Allreduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	c.drainPending(r)
+	c.fb.Allreduce(r, send, recv, op)
+}
+
+// ReduceScatterBlock delegates to the fallback.
+func (c *Component) ReduceScatterBlock(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
+	c.drainPending(r)
+	c.fb.ReduceScatterBlock(r, send, recv, op)
+}

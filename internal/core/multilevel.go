@@ -1,0 +1,196 @@
+package core
+
+import (
+	"repro/internal/knem"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Multi-level pipelined Broadcast — the "dynamic topology mapping" the
+// paper leaves to future work (§V-B: "the topology mapping is static for
+// now, but will be dynamic in future works"). Instead of the fixed
+// two-level NUMA tree, the tree follows the machine's physical hierarchy:
+//
+//	root -> board leaders -> NUMA-domain leaders -> leaves
+//
+// On IG this sends one stream per board across the inter-board links and
+// relieves the root's memory bus (one board leader plus the on-board
+// domain leaders read from it, instead of every domain leader on the
+// machine), while every level stays segment-pipelined. On machines with a
+// single board the tree degenerates to the paper's two-level shape.
+//
+// Enable with Config.Mode = ModeMultiLevel.
+
+// bcastRole describes one rank's place in the multi-level tree.
+type bcastRole struct {
+	parent     int   // -1 for the root
+	children   []int // in notification order
+	parentRoot bool  // parent is the root (whole-buffer read allowed for leaves)
+}
+
+// multiLevelRoles derives the tree for the given root from board and
+// domain locality.
+func (c *Component) multiLevelRoles(root int) []bcastRole {
+	m := c.w.Machine()
+	nDom := len(m.Domains)
+	domLeader := make([]int, nDom)
+	for d := 0; d < nDom; d++ {
+		domLeader[d] = -1
+		if len(c.members[d]) > 0 {
+			domLeader[d] = c.members[d][0]
+		}
+	}
+	rootDom := c.domainOf[root]
+	domLeader[rootDom] = root
+
+	boardOf := func(d int) int { return m.Domains[d].Board }
+	rootBoard := boardOf(rootDom)
+	boardLeader := make(map[int]int)
+	boardLeader[rootBoard] = root
+	for d := 0; d < nDom; d++ {
+		if domLeader[d] == -1 {
+			continue
+		}
+		b := boardOf(d)
+		if cur, ok := boardLeader[b]; !ok || domLeader[d] < cur {
+			if b != rootBoard {
+				boardLeader[b] = domLeader[d]
+			}
+		}
+	}
+
+	roles := make([]bcastRole, c.w.Size())
+	for i := range roles {
+		roles[i].parent = -1
+	}
+	addChild := func(parent, child int) {
+		roles[parent].children = append(roles[parent].children, child)
+		roles[child].parent = parent
+		roles[child].parentRoot = parent == root
+	}
+	// Board leaders hang off the root.
+	for b, bl := range boardLeader {
+		if b != rootBoard {
+			addChild(root, bl)
+		}
+	}
+	// Domain leaders hang off their board leader.
+	for d := 0; d < nDom; d++ {
+		dl := domLeader[d]
+		if dl == -1 {
+			continue
+		}
+		bl := boardLeader[boardOf(d)]
+		if dl != bl {
+			addChild(bl, dl)
+		}
+	}
+	// Leaves hang off their domain leader.
+	for d := 0; d < nDom; d++ {
+		for _, rank := range c.members[d] {
+			if rank != domLeader[d] && rank != root {
+				addChild(domLeader[d], rank)
+			}
+		}
+	}
+	return roles
+}
+
+const wholeBuffer = -1 // segReady.seg value meaning "read everything"
+
+// bcastMultiLevel runs the generic pipelined relay protocol over the
+// multi-level tree. Tags: tag = cookies, tag+1 = upward ACKs, tag+3 =
+// segment notifications; sources disambiguate levels (every rank only
+// receives from its own parent and children).
+func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	me := r.ID()
+	seg := c.segSize(v.Len)
+	role := c.multiLevelRoles(root)[me]
+
+	if role.parent == -1 && me != root {
+		panic("core: multilevel rank outside tree")
+	}
+
+	if me == root {
+		ck := c.mustCreate(r, v, knem.DirRead)
+		for _, ch := range role.children {
+			r.SendOOB(ch, tag, cookieMsg{cookie: ck, n: v.Len})
+		}
+		// The root's data is complete: leaves under it read in one copy,
+		// relays under it still pace themselves per segment so their own
+		// subtrees overlap with their reads.
+		rolesAll := c.multiLevelRoles(root)
+		for _, ch := range role.children {
+			if len(rolesAll[ch].children) == 0 {
+				r.SendOOB(ch, tag+3, segReady{seg: wholeBuffer})
+				continue
+			}
+			s := 0
+			eachSegment(v.Len, seg, func(off, n int64) {
+				r.SendOOB(ch, tag+3, segReady{seg: s})
+				s++
+			})
+		}
+		c.finishRoot(r, ck, tag+1, len(role.children))
+		return
+	}
+
+	// Relay or leaf.
+	msg, _ := r.RecvOOB(role.parent, tag)
+	parentCk := msg.(cookieMsg).cookie
+
+	if len(role.children) == 0 {
+		// Leaf: whole-buffer read if the parent has everything, else
+		// follow the segment notifications.
+		first, _ := r.RecvOOB(role.parent, tag+3)
+		if first.(segReady).seg == wholeBuffer {
+			c.mustCopy(r, v, parentCk, 0, knem.DirRead)
+			r.SendOOB(role.parent, tag+1, ackMsg{})
+			return
+		}
+		s := 0
+		eachSegment(v.Len, seg, func(off, n int64) {
+			if s > 0 {
+				ready, _ := r.RecvOOB(role.parent, tag+3)
+				if ready.(segReady).seg != s {
+					panic("core: multilevel segment out of order")
+				}
+			}
+			c.mustCopy(r, v.SubView(off, n), parentCk, off, knem.DirRead)
+			s++
+		})
+		r.SendOOB(role.parent, tag+1, ackMsg{})
+		return
+	}
+
+	ownCk := c.mustCreate(r, v, knem.DirRead)
+	for _, ch := range role.children {
+		r.SendOOB(ch, tag, cookieMsg{cookie: ownCk, n: v.Len})
+	}
+	s := 0
+	eachSegment(v.Len, seg, func(off, n int64) {
+		ready, _ := r.RecvOOB(role.parent, tag+3)
+		if ready.(segReady).seg != s {
+			panic("core: multilevel segment out of order")
+		}
+		c.mustCopy(r, v.SubView(off, n), parentCk, off, knem.DirRead)
+		for _, ch := range role.children {
+			r.SendOOB(ch, tag+3, segReady{seg: s})
+		}
+		s++
+	})
+	r.SendOOB(role.parent, tag+1, ackMsg{})
+	c.finishRoot(r, ownCk, tag+1, len(role.children))
+}
+
+// eachSegment iterates [0, total) in seg-sized pieces.
+func eachSegment(total, seg int64, fn func(off, n int64)) {
+	for off := int64(0); off < total; off += seg {
+		n := seg
+		if rem := total - off; rem < n {
+			n = rem
+		}
+		fn(off, n)
+	}
+}

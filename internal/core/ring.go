@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/coll"
+	"repro/internal/knem"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Ring-style KNEM Allgather — the improvement the paper announces for the
+// "next release" (§VI-D): instead of composing Gather+Bcast through one
+// root (whose NUMA node's memory bandwidth caps the whole operation on
+// large nodes), blocks travel around the rank ring, one single-copy read
+// per step from the left neighbor's receive buffer. Memory accesses are
+// spread evenly across all memory controllers, most reads are
+// intra-domain (ring neighbors share NUMA nodes under the linear
+// rank-to-core mapping) and frequently land in the neighbor's still-warm
+// cache.
+//
+// Protocol: every rank places its contribution in its receive buffer and
+// declares the whole buffer as a read region; the cookie goes to the right
+// neighbor. At step s a rank reads block (me-s-1 mod p) from its left
+// neighbor — announced available by an out-of-band token — and announces
+// it to its right neighbor. A final barrier precedes deregistration.
+//
+// Enable with Config.RingAllgather; the default remains the paper's
+// Gather+Bcast composition, kept faithful including its IG weakness.
+
+type ringToken struct {
+	step int
+}
+
+func (c *Component) allgatherRing(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	tag := r.CollTag()
+	p := r.Size()
+	me := r.ID()
+	left := (me - 1 + p) % p
+	right := (me + 1) % p
+
+	r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, me), send.SubView(0, rcounts[me]))
+	ck := c.mustCreate(r, recv, knem.DirRead)
+	r.SendOOB(right, tag, cookieMsg{cookie: ck, n: recv.Len})
+	msg, _ := r.RecvOOB(left, tag)
+	leftCk := msg.(cookieMsg).cookie
+
+	// Step 0 needs no token: the left neighbor's own block is in place
+	// before its cookie is published.
+	for step := 0; step < p-1; step++ {
+		if step > 0 {
+			tok, _ := r.RecvOOB(left, tag+1)
+			if tok.(ringToken).step != step {
+				panic("core: ring allgather token out of order")
+			}
+		}
+		rb := (me - step - 1 + p) % p
+		c.mustCopy(r, coll.VBlock(recv, rcounts, rdispls, rb), leftCk, rdispls[rb], knem.DirRead)
+		if step < p-2 {
+			r.SendOOB(right, tag+1, ringToken{step: step + 1})
+		}
+	}
+	coll.Dissemination(r, tag+2)
+	c.mustDestroy(r, ck)
+}

@@ -1,0 +1,282 @@
+// Package knem simulates the KNEM Linux kernel module (>= 0.7) that the
+// paper's collective component drives directly: single-copy transfers
+// between process address spaces, performed in kernel space by the calling
+// core (or offloaded to an I/OAT DMA engine).
+//
+// The simulated API mirrors the real module's region model:
+//
+//   - Create declares a persistent memory region (possibly vectorial) and
+//     returns a cookie; the region can then be accessed multiple times by
+//     any number of peers until Destroy — the paper's fix for redundant
+//     per-peer registrations (§III-B).
+//
+//   - A region carries direction permissions: DirRead lets peers read it
+//     (receiver-reading: Broadcast, Scatter, Alltoall), DirWrite lets
+//     peers write it (sender-writing: Gather). Direction control is the
+//     second KNEM extension the paper introduces.
+//
+//   - Copy moves data between a local buffer and any sub-range of a remote
+//     region (granularity control), so several peers can concurrently
+//     stream different chunks of the same region.
+//
+// Every call that would be an ioctl charges the machine's kernel-trap
+// latency — the ~100 ns overhead that makes KNEM unattractive below 16 KB
+// (§V-A).
+//
+// Security model (§III): cookies act like System V IPC identifiers. A
+// stale, forged, or destroyed cookie yields ErrInvalidCookie; an access
+// not permitted by the region's direction yields ErrDirection; a range
+// beyond the region yields ErrRange.
+package knem
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Direction is a permission bitmask on regions and the access mode of a
+// copy.
+type Direction int
+
+const (
+	// DirRead permits peers to read the region.
+	DirRead Direction = 1 << iota
+	// DirWrite permits peers to write the region.
+	DirWrite
+)
+
+// Cookie identifies a declared region.
+type Cookie uint64
+
+// Errors returned by the module, mirroring the real driver's EINVAL/EPERM
+// surface.
+var (
+	ErrInvalidCookie = errors.New("knem: invalid cookie")
+	ErrDirection     = errors.New("knem: direction not permitted by region")
+	ErrRange         = errors.New("knem: copy range exceeds region")
+	ErrNoDMA         = errors.New("knem: no DMA engine on this machine")
+)
+
+// Region is a declared memory region.
+type Region struct {
+	cookie Cookie
+	owner  int
+	segs   []memsim.View
+	dir    Direction
+	total  int64
+}
+
+// Len returns the total byte length of the region.
+func (r *Region) Len() int64 { return r.total }
+
+// Module is one node's KNEM driver instance.
+type Module struct {
+	net     *memsim.Net
+	regions map[Cookie]*Region
+	next    Cookie
+}
+
+// New attaches a module to a memory system.
+func New(net *memsim.Net) *Module {
+	return &Module{net: net, regions: make(map[Cookie]*Region)}
+}
+
+// Net returns the underlying memory simulator.
+func (m *Module) Net() *memsim.Net { return m.net }
+
+// ActiveRegions returns the number of live regions (leak checks in tests).
+func (m *Module) ActiveRegions() int { return len(m.regions) }
+
+func (m *Module) trap(p *sim.Proc) {
+	m.net.Stats().KernelTraps++
+	p.Wait(m.net.Machine().Spec.KernelTrap)
+}
+
+// Create declares the (possibly vectorial) views as one region owned by
+// rank owner with the given direction permissions, returning its cookie.
+// Beyond the trap, it charges page pinning proportional to the region size
+// (get_user_pages) — the cost that makes repeated registration of the same
+// buffer wasteful (§III-A).
+func (m *Module) Create(p *sim.Proc, owner int, views []memsim.View, dir Direction) (Cookie, error) {
+	m.trap(p)
+	if len(views) == 0 {
+		return 0, fmt.Errorf("knem: empty region")
+	}
+	if dir&(DirRead|DirWrite) == 0 {
+		return 0, fmt.Errorf("knem: region with no direction permission")
+	}
+	var total int64
+	for _, v := range views {
+		total += v.Len
+	}
+	pages := (total + 4095) / 4096
+	p.Wait(float64(pages) * m.net.Machine().Spec.PinPerPage)
+	m.next++
+	r := &Region{cookie: m.next, owner: owner, segs: views, dir: dir, total: total}
+	m.regions[r.cookie] = r
+	m.net.Stats().Registrations++
+	return r.cookie, nil
+}
+
+// Destroy deregisters a region.
+func (m *Module) Destroy(p *sim.Proc, c Cookie) error {
+	m.trap(p)
+	if _, ok := m.regions[c]; !ok {
+		return ErrInvalidCookie
+	}
+	delete(m.regions, c)
+	return nil
+}
+
+// slice resolves [off, off+length) of the region's logical extent into
+// concrete views across its segments.
+func (r *Region) slice(off, length int64) ([]memsim.View, error) {
+	if off < 0 || length < 0 || off+length > r.total {
+		return nil, ErrRange
+	}
+	var out []memsim.View
+	pos := int64(0)
+	for _, s := range r.segs {
+		if length == 0 {
+			break
+		}
+		segEnd := pos + s.Len
+		if off < segEnd {
+			start := off - pos
+			n := segEnd - off
+			if n > length {
+				n = length
+			}
+			out = append(out, s.SubView(start, n))
+			off += n
+			length -= n
+		}
+		pos = segEnd
+	}
+	return out, nil
+}
+
+// pairChunks walks two iovec lists in lockstep, yielding aligned pieces.
+func pairChunks(a, b []memsim.View, fn func(av, bv memsim.View)) {
+	ai, bi := 0, 0
+	var aOff, bOff int64
+	for ai < len(a) && bi < len(b) {
+		av, bv := a[ai], b[bi]
+		n := av.Len - aOff
+		if r := bv.Len - bOff; r < n {
+			n = r
+		}
+		fn(av.SubView(aOff, n), bv.SubView(bOff, n))
+		aOff += n
+		bOff += n
+		if aOff == av.Len {
+			ai++
+			aOff = 0
+		}
+		if bOff == bv.Len {
+			bi++
+			bOff = 0
+		}
+	}
+}
+
+// Copy performs an inline (synchronous) single-copy transfer between local
+// views and the remote region identified by cookie, executed by core —
+// the caller's core in kernel mode. dir selects the access: DirRead reads
+// [remoteOff, remoteOff+len(local)) of the region into local; DirWrite
+// writes local into that range. The region must permit the access.
+func (m *Module) Copy(p *sim.Proc, core *topology.Core, local []memsim.View, c Cookie, remoteOff int64, dir Direction) error {
+	m.trap(p)
+	p.Wait(m.net.Machine().Spec.CopySetup)
+	remote, n, err := m.resolve(local, c, remoteOff, dir)
+	if err != nil {
+		return err
+	}
+	_ = n
+	if dir == DirRead {
+		pairChunks(local, remote, func(lv, rv memsim.View) {
+			m.net.Copy(p, core, lv, rv)
+		})
+	} else {
+		pairChunks(remote, local, func(rv, lv memsim.View) {
+			m.net.Copy(p, core, rv, lv)
+		})
+	}
+	return nil
+}
+
+// Op is an in-flight asynchronous copy.
+type Op struct {
+	pendings []*memsim.Pending
+}
+
+// Wait blocks until the operation completes.
+func (o *Op) Wait(p *sim.Proc) {
+	for _, pe := range o.pendings {
+		pe.Wait(p)
+	}
+}
+
+// Done reports completion without blocking (the status-polling model of
+// KNEM's asynchronous interface).
+func (o *Op) Done() bool {
+	for _, pe := range o.pendings {
+		if !pe.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyDMA starts an asynchronous copy offloaded to the domain DMA engine
+// of core (Intel I/OAT offload, §III). The calling core is free while the
+// transfer progresses. Returns ErrNoDMA on machines without engines.
+func (m *Module) CopyDMA(p *sim.Proc, core *topology.Core, local []memsim.View, c Cookie, remoteOff int64, dir Direction) (*Op, error) {
+	m.trap(p)
+	p.Wait(m.net.Machine().Spec.CopySetup)
+	if m.net.Machine().DMA[core.Domain.ID] == nil {
+		return nil, ErrNoDMA
+	}
+	remote, _, err := m.resolve(local, c, remoteOff, dir)
+	if err != nil {
+		return nil, err
+	}
+	op := &Op{}
+	if dir == DirRead {
+		pairChunks(local, remote, func(lv, rv memsim.View) {
+			op.pendings = append(op.pendings, m.net.CopyDMA(core, lv, rv))
+		})
+	} else {
+		pairChunks(remote, local, func(rv, lv memsim.View) {
+			op.pendings = append(op.pendings, m.net.CopyDMA(core, rv, lv))
+		})
+	}
+	return op, nil
+}
+
+// resolve validates a copy request and returns the remote views.
+func (m *Module) resolve(local []memsim.View, c Cookie, remoteOff int64, dir Direction) ([]memsim.View, int64, error) {
+	if dir != DirRead && dir != DirWrite {
+		return nil, 0, fmt.Errorf("knem: copy must be exactly DirRead or DirWrite")
+	}
+	r, ok := m.regions[c]
+	if !ok {
+		return nil, 0, ErrInvalidCookie
+	}
+	if r.dir&dir == 0 {
+		return nil, 0, ErrDirection
+	}
+	var n int64
+	for _, v := range local {
+		n += v.Len
+	}
+	remote, err := r.slice(remoteOff, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return remote, n, nil
+}

@@ -1,0 +1,240 @@
+package memsim
+
+import "repro/internal/topology"
+
+// cacheEntry tracks how many bytes of a region are resident, counted from
+// the start of the region. Counting from the start models streaming access
+// (collectives read/write buffers front to back, segment by segment), so a
+// pipelined consumer that follows a producer hits on exactly the prefix the
+// producer has already touched.
+type cacheEntry struct {
+	region int64
+	hot    int64
+	// dirty marks data produced (written) by this group and not yet
+	// written back. Other groups cannot stream it faster than DRAM
+	// (modified-line intervention), so remote readers get no cache path;
+	// readers inside the group hit their own L3 at full speed.
+	dirty bool
+	prev  *cacheEntry
+	next  *cacheEntry
+}
+
+// groupCache is an LRU over regions for one cache group.
+type groupCache struct {
+	group   *topology.CacheGroup
+	entries map[int64]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry
+	used    int64
+}
+
+func newGroupCache(g *topology.CacheGroup) *groupCache {
+	return &groupCache{group: g, entries: make(map[int64]*cacheEntry)}
+}
+
+func (c *groupCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *groupCache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// touch records that bytes [off, off+n) of region passed through this
+// cache. Residency is tracked as a prefix: the resident prefix extends only
+// if the touch is contiguous with it. asDest marks the data dirty (written
+// here); reading keeps an existing dirty mark (MOESI Owned).
+func (c *groupCache) touch(region int64, off, n int64, asDest bool) {
+	if n <= 0 || n > c.group.Size {
+		// A single access larger than the cache streams through: nothing
+		// of it stays resident, and everything else is evicted on the
+		// way — the cache pollution of §I.
+		if n > c.group.Size {
+			c.flush()
+		}
+		return
+	}
+	e, ok := c.entries[region]
+	if !ok {
+		if off != 0 {
+			return // a mid-region touch of an absent region leaves no usable prefix
+		}
+		e = &cacheEntry{region: region}
+		c.entries[region] = e
+	} else {
+		c.unlink(e)
+		if off > e.hot {
+			// Discontiguous touch: restart prefix tracking only if it
+			// begins at 0; otherwise keep the old prefix.
+			if off == 0 && n > e.hot {
+				c.used -= e.hot
+				e.hot = 0
+			}
+		}
+	}
+	if off <= e.hot && off+n > e.hot {
+		grow := off + n - e.hot
+		if e.hot+grow > c.group.Size {
+			grow = c.group.Size - e.hot
+		}
+		e.hot += grow
+		c.used += grow
+	}
+	if asDest {
+		e.dirty = true
+	}
+	c.pushFront(e)
+	c.evict(e)
+}
+
+// evict removes least-recently-used entries (never the protected one) until
+// usage fits the capacity.
+func (c *groupCache) evict(protect *cacheEntry) {
+	for c.used > c.group.Size {
+		victim := c.tail
+		if victim == nil {
+			return
+		}
+		if victim == protect {
+			if victim.prev == nil {
+				// Only the protected entry remains; trim its prefix.
+				over := c.used - c.group.Size
+				victim.hot -= over
+				c.used -= over
+				return
+			}
+			victim = victim.prev
+		}
+		c.used -= victim.hot
+		c.unlink(victim)
+		delete(c.entries, victim.region)
+	}
+}
+
+// resident reports whether bytes [off, off+n) of region are cached here.
+func (c *groupCache) resident(region int64, off, n int64) bool {
+	e, ok := c.entries[region]
+	return ok && off+n <= e.hot
+}
+
+func (c *groupCache) flush() {
+	c.entries = make(map[int64]*cacheEntry)
+	c.head, c.tail = nil, nil
+	c.used = 0
+}
+
+// FlushCaches empties every cache group; the IMB "off-cache" protocol calls
+// this between iterations.
+func (n *Net) FlushCaches() {
+	for _, c := range n.caches {
+		c.flush()
+	}
+}
+
+// InvalidateRegion drops a region from every cache (e.g. after its buffer
+// is reused for unrelated data).
+func (n *Net) InvalidateRegion(b *Buffer) {
+	for _, c := range n.caches {
+		if e, ok := c.entries[b.ID]; ok {
+			c.used -= e.hot
+			c.unlink(e)
+			delete(c.entries, b.ID)
+		}
+	}
+}
+
+// Resident reports whether view v is fully resident in group g's cache;
+// exposed for tests and for the benchmark harness's cache accounting.
+func (n *Net) Resident(g *topology.CacheGroup, v View) bool {
+	return n.caches[g.ID].resident(v.Buf.ID, v.Off, v.Len)
+}
+
+// Touch records a computational access to v by core (the memory footprint
+// of application compute, which the communication layer cannot see):
+// an access larger than the cache pollutes it; smaller accesses become
+// resident, dirty if write is set. Applications call this (through
+// mpi.Rank.TouchCache) after charged compute phases so the cache model
+// sees their working sets.
+func (n *Net) Touch(core *topology.Core, v View, write bool) {
+	n.caches[core.Group.ID].touch(v.Buf.ID, v.Off, v.Len, write)
+	if write {
+		n.invalidateRange(v.Buf.ID, v.Off, v.Len, core.Group)
+	}
+}
+
+// invalidateRange removes [off, off+n) of region from every cache except
+// the writer's (MESI-style invalidation on write). With prefix residency,
+// losing any part of the prefix truncates it at the overlap start.
+func (n *Net) invalidateRange(region int64, off, length int64, except *topology.CacheGroup) {
+	for _, c := range n.caches {
+		if c.group == except {
+			continue
+		}
+		e, ok := c.entries[region]
+		if !ok || e.hot <= off {
+			continue
+		}
+		c.used -= e.hot - off
+		e.hot = off
+		if e.hot == 0 {
+			c.unlink(e)
+			delete(c.entries, region)
+		}
+	}
+}
+
+// findCached returns the best cache group holding view v readable at cache
+// speed by reader (closest, ties to the lowest group ID), or nil if none.
+// Dirty data only serves cache-speed reads inside the owning group; remote
+// readers of dirty data pay an intervention (see dirtyOwner).
+func (n *Net) findCached(reader *topology.Core, v View) *topology.CacheGroup {
+	var best *topology.CacheGroup
+	bestHops := 0
+	for _, c := range n.caches {
+		if !c.resident(v.Buf.ID, v.Off, v.Len) {
+			continue
+		}
+		if e := c.entries[v.Buf.ID]; e != nil && e.dirty && c.group != reader.Group {
+			continue
+		}
+		h := n.mach.Hops(reader.Vertex, c.group.Vertex)
+		if best == nil || h < bestHops {
+			best, bestHops = c.group, h
+		}
+	}
+	return best
+}
+
+// dirtyOwner returns the remote group holding view v dirty, if any. A read
+// by another group is then a modified-line intervention: the data streams
+// from the owner's cache across the interconnect and is written back to
+// its home memory — no faster than DRAM, and it loads the path to the
+// owner.
+func (n *Net) dirtyOwner(reader *topology.Core, v View) *topology.CacheGroup {
+	for _, c := range n.caches {
+		if c.group == reader.Group {
+			continue
+		}
+		if e := c.entries[v.Buf.ID]; e != nil && e.dirty && c.resident(v.Buf.ID, v.Off, v.Len) {
+			return c.group
+		}
+	}
+	return nil
+}

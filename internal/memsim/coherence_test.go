@@ -1,0 +1,177 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// run executes body as a single simulated process and drives to completion.
+func run1(t *testing.T, e *sim.Engine, body func(p *sim.Proc)) {
+	t.Helper()
+	e.Spawn("t", body)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHitUsesPortNotDRAM(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	d0 := m.Domains[0]
+	a := n.Alloc(d0, 256<<10, false)
+	b := n.Alloc(d0, 256<<10, false)
+	run1(t, e, func(p *sim.Proc) {
+		n.Copy(p, m.Cores[0], b.Whole(), a.Whole()) // b now resident+dirty in group 0
+		before := n.Stats().LinkBytes["mem0"]
+		n.Copy(p, m.Cores[0], b.Whole(), a.Whole()) // rewrite b: write hit
+		wrote := n.Stats().LinkBytes["mem0"] - before
+		// Only the read side (a is resident too — it was touched as source,
+		// so even the read hits). Expect zero new DRAM traffic.
+		if wrote != 0 {
+			t.Errorf("rewrite of cached dst cost %d DRAM bytes, want 0", wrote)
+		}
+		if n.Stats().LinkBytes["cache0"] == 0 {
+			t.Error("no port traffic recorded")
+		}
+	})
+}
+
+func TestWriteInvalidatesOtherCaches(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	d0 := m.Domains[0]
+	a := n.Alloc(d0, 128<<10, false)
+	tmp0 := n.Alloc(d0, 128<<10, false)
+	tmp1 := n.Alloc(m.Domains[1], 128<<10, false)
+	run1(t, e, func(p *sim.Proc) {
+		// Reader on socket 1 caches a (clean).
+		n.Copy(p, m.Domains[1].Cores[0], tmp1.Whole(), a.Whole())
+		if !n.Resident(m.Groups[1], a.Whole()) {
+			t.Fatal("a not resident in group 1 after read")
+		}
+		// Writer on socket 0 overwrites a.
+		n.Copy(p, m.Cores[0], a.Whole(), tmp0.Whole())
+		if n.Resident(m.Groups[1], a.Whole()) {
+			t.Fatal("stale copy of a still resident in group 1 after remote write")
+		}
+		if !n.Resident(m.Groups[0], a.Whole()) {
+			t.Fatal("writer's own cache lost the line")
+		}
+	})
+}
+
+func TestDirtyInterventionPricedAsDRAMPlusPath(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	d0, d1 := m.Domains[0], m.Domains[1]
+	src := n.Alloc(d0, 128<<10, false)
+	a := n.Alloc(d0, 128<<10, false) // will become dirty in group 0
+	dst := n.Alloc(d1, 128<<10, false)
+	run1(t, e, func(p *sim.Proc) {
+		n.Copy(p, m.Cores[0], a.Whole(), src.Whole()) // a dirty in group 0
+		qpi0 := n.Stats().LinkBytes["qpi"]
+		mem0 := n.Stats().LinkBytes["mem0"]
+		port0 := n.Stats().LinkBytes["cache0"]
+		hits0 := n.Stats().CacheHits
+		n.Copy(p, d1.Cores[0], dst.Whole(), a.Whole()) // remote read of dirty a
+		// Intervention: crosses QPI, loads the owner's port, and writes
+		// back to a's home bus (mem0) — no free cache-to-cache ride.
+		if got := n.Stats().LinkBytes["qpi"] - qpi0; got != 128<<10 {
+			t.Errorf("qpi bytes = %d, want %d", got, 128<<10)
+		}
+		if got := n.Stats().LinkBytes["mem0"] - mem0; got != 128<<10 {
+			t.Errorf("write-back to home = %d bytes, want %d", got, 128<<10)
+		}
+		if got := n.Stats().LinkBytes["cache0"] - port0; got != 128<<10 {
+			t.Errorf("owner port bytes = %d, want %d", got, 128<<10)
+		}
+		if n.Stats().CacheHits != hits0 {
+			t.Error("intervention wrongly counted as a cache hit")
+		}
+	})
+}
+
+func TestSameGroupDirtyReadHits(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	d0 := m.Domains[0]
+	a := n.Alloc(d0, 128<<10, false)
+	b := n.Alloc(d0, 128<<10, false)
+	c := n.Alloc(d0, 128<<10, false)
+	run1(t, e, func(p *sim.Proc) {
+		n.Copy(p, m.Cores[0], b.Whole(), a.Whole()) // b dirty in group 0
+		base := n.Stats().CacheHits
+		n.Copy(p, m.Cores[1], c.Whole(), b.Whole()) // same-group read of dirty b
+		if n.Stats().CacheHits != base+1 {
+			t.Error("same-group dirty read did not hit the shared cache")
+		}
+	})
+}
+
+func TestOversizedAccessPollutes(t *testing.T) {
+	m := topology.Dancer() // 8 MiB groups
+	e, n := setup(m)
+	d0 := m.Domains[0]
+	small := n.Alloc(d0, 64<<10, false)
+	tmp := n.Alloc(d0, 64<<10, false)
+	huge := n.Alloc(d0, 16<<20, false)
+	run1(t, e, func(p *sim.Proc) {
+		n.Copy(p, m.Cores[0], tmp.Whole(), small.Whole())
+		if !n.Resident(m.Groups[0], small.Whole()) {
+			t.Fatal("small region not resident")
+		}
+		// A single access bigger than the cache streams through,
+		// flushing everything (Touch models a compute phase).
+		n.Touch(m.Cores[0], huge.Whole(), true)
+		if n.Resident(m.Groups[0], small.Whole()) {
+			t.Fatal("streaming access did not pollute the cache")
+		}
+		if n.Resident(m.Groups[0], huge.View(0, 64<<10)) {
+			t.Fatal("oversized region left residue")
+		}
+	})
+}
+
+func TestTouchKeepsHotBufferResident(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	d0 := m.Domains[0]
+	rowBuf := n.Alloc(d0, 64<<10, false)
+	block := n.Alloc(d0, 32<<20, false)
+	src := n.Alloc(d0, 64<<10, false)
+	run1(t, e, func(p *sim.Proc) {
+		n.Copy(p, m.Cores[0], rowBuf.Whole(), src.Whole())
+		// The ASP pattern: stream the big block (pollutes), then re-touch
+		// the row buffer the inner loop keeps reading.
+		n.Touch(m.Cores[0], block.Whole(), true)
+		n.Touch(m.Cores[0], rowBuf.Whole(), false)
+		if !n.Resident(m.Groups[0], rowBuf.Whole()) {
+			t.Fatal("re-touched row buffer not resident")
+		}
+		// The next write to the resident row buffer is absorbed by the
+		// cache; only the (evicted) source's read touches DRAM.
+		base := n.Stats().LinkBytes["mem0"]
+		n.Copy(p, m.Cores[1], rowBuf.Whole(), src.Whole())
+		if got := n.Stats().LinkBytes["mem0"] - base; got != 64<<10 {
+			t.Errorf("DRAM traffic = %d, want %d (source read only)", got, 64<<10)
+		}
+	})
+}
+
+func TestInvalidateRegionDropsEverywhere(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	a := n.Alloc(m.Domains[0], 64<<10, false)
+	t0 := n.Alloc(m.Domains[0], 64<<10, false)
+	t1 := n.Alloc(m.Domains[1], 64<<10, false)
+	run1(t, e, func(p *sim.Proc) {
+		n.Copy(p, m.Cores[0], t0.Whole(), a.Whole())
+		n.Copy(p, m.Domains[1].Cores[0], t1.Whole(), a.Whole())
+		n.InvalidateRegion(a)
+		if n.Resident(m.Groups[0], a.Whole()) || n.Resident(m.Groups[1], a.Whole()) {
+			t.Fatal("InvalidateRegion left residue")
+		}
+	})
+}

@@ -1,0 +1,379 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Net is the flow-level memory system simulator for one machine. All
+// concurrent copies share link bandwidth max-min fairly; rates are
+// recomputed whenever a flow starts or finishes.
+type Net struct {
+	eng    *sim.Engine
+	mach   *topology.Machine
+	stats  *trace.Stats
+	tl     *trace.Timeline
+	caches []*groupCache
+
+	flows      []*flow
+	lastUpdate sim.Time
+	completion *sim.Event
+	nextBuf    int64
+	flowSeq    int64
+}
+
+// linkUse is one link crossed by a flow; mult > 1 when the flow crosses the
+// link more than once (e.g. read and write through the same memory bus).
+type linkUse struct {
+	link *topology.Link
+	mult float64
+}
+
+type flow struct {
+	seq       int64
+	uses      []linkUse
+	remaining float64
+	rate      float64
+	started   sim.Time
+	pending   *Pending
+	finish    func()
+}
+
+// Pending is a handle to an in-flight copy.
+type Pending struct {
+	done   bool
+	waiter *sim.Proc
+}
+
+// Done reports whether the copy has completed.
+func (pe *Pending) Done() bool { return pe.done }
+
+// Wait blocks p until the copy completes.
+func (pe *Pending) Wait(p *sim.Proc) {
+	if pe.done {
+		return
+	}
+	if pe.waiter != nil {
+		panic("memsim: multiple waiters on one Pending")
+	}
+	pe.waiter = p
+	p.Park("memsim copy")
+}
+
+// New creates a memory system for machine m. stats may be nil.
+func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
+	if stats == nil {
+		stats = &trace.Stats{}
+	}
+	n := &Net{eng: eng, mach: m, stats: stats}
+	for _, g := range m.Groups {
+		n.caches = append(n.caches, newGroupCache(g))
+	}
+	return n
+}
+
+// Machine returns the underlying hardware model.
+func (n *Net) Machine() *topology.Machine { return n.mach }
+
+// Engine returns the simulation engine.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// Stats returns the counter sink.
+func (n *Net) Stats() *trace.Stats { return n.stats }
+
+// SetTimeline attaches a span recorder; every copy becomes a span on its
+// executing engine's lane. Pass nil to disable (the default).
+func (n *Net) SetTimeline(tl *trace.Timeline) { n.tl = tl }
+
+// Busy returns the number of in-flight flows (for tests).
+func (n *Net) Busy() int { return len(n.flows) }
+
+// Copy moves src to dst executed by core, blocking p until completion.
+// Lengths must match. The executing core's copy engine, the read path
+// (cache or DRAM), and the write path all contend with concurrent flows.
+func (n *Net) Copy(p *sim.Proc, core *topology.Core, dst, src View) {
+	n.CopyAsync(core, dst, src).Wait(p)
+}
+
+// CopyAsync starts a copy executed by core and returns immediately.
+func (n *Net) CopyAsync(core *topology.Core, dst, src View) *Pending {
+	return n.startCopy(core.Engine, core, dst, src)
+}
+
+// CopyDMA starts a copy offloaded to the DMA engine of the executing
+// core's domain (Intel I/OAT style): the core's copy engine is not
+// consumed, so the core is free to compute or issue further copies. It
+// panics if the machine has no DMA engines.
+func (n *Net) CopyDMA(core *topology.Core, dst, src View) *Pending {
+	dma := n.mach.DMA[core.Domain.ID]
+	if dma == nil {
+		panic("memsim: CopyDMA on a machine without DMA engines")
+	}
+	return n.startCopy(dma, nil, dst, src)
+}
+
+// startCopy builds the flow. engine is the copy engine link (a core's or a
+// DMA engine's); core is the executing core for cache purposes (nil for
+// DMA, which bypasses caches).
+func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src View) *Pending {
+	if dst.Len != src.Len {
+		panic(fmt.Sprintf("memsim: copy length mismatch dst=%d src=%d", dst.Len, src.Len))
+	}
+	pe := &Pending{}
+	if src.Len == 0 {
+		pe.done = true
+		return pe
+	}
+	reader := core
+	if reader == nil {
+		// DMA engines sit at the domain vertex; route from there.
+		reader = n.mach.Domains[dmaDomain(n, engine)].Cores[0]
+	}
+
+	uses := map[*topology.Link]float64{engine: 1}
+	ordered := []*topology.Link{engine}
+	add := func(l *topology.Link) {
+		if _, ok := uses[l]; !ok {
+			ordered = append(ordered, l)
+		}
+		uses[l]++
+	}
+
+	// Read side: from the nearest cache holding the source range clean
+	// (or dirty in the reader's own group); a remote dirty copy is a
+	// modified-line intervention (owner's cache + interconnect + home
+	// write-back); otherwise DRAM.
+	cacheHit := false
+	if core != nil {
+		if g := n.findCached(core, src); g != nil {
+			cacheHit = true
+			for _, l := range n.mach.PathToGroup(core, g) {
+				add(l)
+			}
+		} else if g := n.dirtyOwner(core, src); g != nil {
+			for _, l := range n.mach.PathToGroup(core, g) {
+				add(l)
+			}
+			add(src.Buf.Domain.Bus) // write-back to home memory
+		} else {
+			for _, l := range n.mach.PathToDomain(reader, src.Buf.Domain) {
+				add(l)
+			}
+		}
+	} else {
+		for _, l := range n.mach.PathToDomain(reader, src.Buf.Domain) {
+			add(l)
+		}
+	}
+	// Write side: a destination already resident in the executing core's
+	// cache absorbs the write at port speed (write hit; it turns dirty
+	// and is charged to DRAM again once evicted and re-missed). Anything
+	// else goes to the destination DRAM.
+	writeHit := false
+	if core != nil && n.caches[core.Group.ID].resident(dst.Buf.ID, dst.Off, dst.Len) {
+		writeHit = true
+		add(core.Group.Port)
+	}
+	if !writeHit {
+		for _, l := range n.mach.PathToDomain(reader, dst.Buf.Domain) {
+			add(l)
+		}
+	}
+
+	f := &flow{remaining: float64(src.Len), pending: pe, started: n.eng.Now()}
+	n.flowSeq++
+	f.seq = n.flowSeq
+	for _, l := range ordered {
+		f.uses = append(f.uses, linkUse{link: l, mult: uses[l]})
+	}
+
+	n.stats.Copies++
+	n.stats.BytesCopied += src.Len
+	if cacheHit {
+		n.stats.CacheHits++
+	} else {
+		n.stats.CacheMisses++
+	}
+	for _, u := range f.uses {
+		n.stats.AddLinkBytes(u.link.Name, int64(u.mult*float64(src.Len)))
+	}
+
+	f.finish = func() {
+		n.tl.Add(engine.Name, "copy", f.started, n.eng.Now(),
+			fmt.Sprintf("%dB dom%d->dom%d", src.Len, src.Buf.Domain.ID, dst.Buf.Domain.ID))
+		if src.Buf.Data != nil && dst.Buf.Data != nil {
+			copy(dst.Bytes(), src.Bytes())
+		}
+		if core != nil {
+			c := n.caches[core.Group.ID]
+			c.touch(src.Buf.ID, src.Off, src.Len, false)
+			c.touch(dst.Buf.ID, dst.Off, dst.Len, true)
+			n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, core.Group)
+		} else {
+			// DMA writes go to memory and invalidate every cache.
+			n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, nil)
+		}
+		pe.done = true
+		if pe.waiter != nil {
+			pe.waiter.Wake()
+		}
+	}
+	n.addFlow(f)
+	return pe
+}
+
+// dmaDomain finds which domain a DMA link belongs to.
+func dmaDomain(n *Net, l *topology.Link) int {
+	for i, d := range n.mach.DMA {
+		if d == l {
+			return i
+		}
+	}
+	panic("memsim: unknown DMA link")
+}
+
+func (n *Net) addFlow(f *flow) {
+	n.advance()
+	n.flows = append(n.flows, f)
+	n.reschedule()
+}
+
+// advance depletes every flow by the bandwidth it enjoyed since the last
+// update.
+func (n *Net) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastUpdate
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+const finishEps = 1e-3 // bytes; far below any modelled transfer granularity
+
+// reschedule recomputes max-min fair rates and schedules the next
+// completion event.
+func (n *Net) reschedule() {
+	if n.completion != nil {
+		n.completion.Cancel()
+		n.completion = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	n.recomputeRates()
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			panic("memsim: flow with zero rate")
+		}
+		t := f.remaining / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if next < 0 {
+		next = 0
+	}
+	n.completion = n.eng.Schedule(next, n.onCompletion)
+}
+
+func (n *Net) onCompletion() {
+	n.completion = nil
+	n.advance()
+	remaining := n.flows[:0]
+	var finished []*flow
+	for _, f := range n.flows {
+		if f.remaining <= finishEps {
+			finished = append(finished, f)
+		} else {
+			remaining = append(remaining, f)
+		}
+	}
+	n.flows = remaining
+	for _, f := range finished {
+		f.finish()
+	}
+	n.reschedule()
+}
+
+// recomputeRates runs progressive filling (water-filling) with per-link
+// multiplicities: raise all unfixed flow rates uniformly until a link
+// saturates, fix the flows crossing it, repeat.
+func (n *Net) recomputeRates() {
+	nl := len(n.mach.Links)
+	fixedLoad := make([]float64, nl)
+	weight := make([]float64, nl)
+	unfixed := make(map[*flow]bool, len(n.flows))
+	for _, f := range n.flows {
+		unfixed[f] = true
+		for _, u := range f.uses {
+			weight[u.link.Index] += u.mult
+		}
+	}
+	for len(unfixed) > 0 {
+		// Find the bottleneck share.
+		share := math.Inf(1)
+		for i := 0; i < nl; i++ {
+			if weight[i] <= 0 {
+				continue
+			}
+			s := (n.mach.Links[i].BW - fixedLoad[i]) / weight[i]
+			if s < share {
+				share = s
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("memsim: unfixed flows cross no links")
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Identify the links saturated at this share, then fix every
+		// unfixed flow crossing one of them.
+		saturated := make([]bool, nl)
+		for i := 0; i < nl; i++ {
+			if weight[i] <= 0 {
+				continue
+			}
+			s := (n.mach.Links[i].BW - fixedLoad[i]) / weight[i]
+			if s <= share*(1+1e-12) {
+				saturated[i] = true
+			}
+		}
+		progress := false
+		for _, f := range n.flows {
+			if !unfixed[f] {
+				continue
+			}
+			bottled := false
+			for _, u := range f.uses {
+				if saturated[u.link.Index] {
+					bottled = true
+					break
+				}
+			}
+			if bottled {
+				f.rate = share
+				delete(unfixed, f)
+				progress = true
+				for _, u := range f.uses {
+					fixedLoad[u.link.Index] += share * u.mult
+					weight[u.link.Index] -= u.mult
+				}
+			}
+		}
+		if !progress {
+			panic("memsim: water-filling made no progress")
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsim"
+)
+
+// Comm is a sub-communicator: an ordered subset of the world's ranks with
+// its own rank numbering and a private tag space (so concurrent
+// collectives on disjoint communicators never interfere). The world's
+// pluggable collective component serves the world communicator through the
+// Rank methods; communicator collectives run a fixed menu of the generic
+// algorithms (binomial, pipelined chain, ring, recursive doubling) through
+// the Ranker abstraction — see CommRank.Bcast and friends.
+//
+// Communicators are created collectively with Split (MPI_Comm_split
+// semantics): every member of the parent calls it with a color and key.
+type Comm struct {
+	w       *World
+	id      int
+	members []int       // world ranks in comm-rank order
+	index   map[int]int // world rank -> comm rank
+}
+
+// commTagStride spaces the tag namespaces of distinct communicators; it
+// exceeds the world component's collective-tag range (collTagMod * 16) so
+// the spaces are disjoint. Comm id 0 is reserved for the world component's
+// own tags; WorldComm uses id 1; Split-created communicators get ids >= 2.
+const commTagStride = 1 << 25
+
+func newComm(w *World, id int, members []int) *Comm {
+	c := &Comm{w: w, id: id, members: members, index: make(map[int]int, len(members))}
+	for i, m := range members {
+		c.index[m] = i
+	}
+	return c
+}
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Members returns the world ranks, in comm-rank order.
+func (c *Comm) Members() []int { return append([]int(nil), c.members...) }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// Rank binds the communicator to the calling rank, yielding the handle
+// its members use for communication. It panics if r is not a member.
+func (c *Comm) Rank(r *Rank) *CommRank {
+	me, ok := c.index[r.id]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d is not a member of this communicator", r.id))
+	}
+	return &CommRank{c: c, r: r, me: me}
+}
+
+type splitReq struct {
+	color, key, rank int
+}
+
+type splitResp struct {
+	id      int
+	members []int
+}
+
+// Split partitions the parent communicator: members calling with the same
+// color form a new communicator, ordered by key (ties by parent rank).
+// Every member must call Split; each receives its own new communicator
+// (MPI_Comm_split). A negative color returns nil for that caller, but the
+// caller still participates in the collective.
+func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	me, ok := c.index[r.id]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d splitting a communicator it is not in", r.id))
+	}
+	tag := commSplitTagBase + c.id*16
+	coord := c.members[0]
+	if me != 0 {
+		r.SendOOB(coord, tag, splitReq{color: color, key: key, rank: r.id})
+		resp, _ := r.RecvOOB(coord, tag+1)
+		sr := resp.(splitResp)
+		if sr.members == nil {
+			return nil
+		}
+		return newComm(c.w, sr.id, sr.members)
+	}
+	// Coordinator: gather (color, key) from every member, form the groups,
+	// assign globally consistent ids, and answer everyone.
+	reqs := make([]splitReq, c.Size())
+	reqs[0] = splitReq{color: color, key: key, rank: r.id}
+	for i := 1; i < c.Size(); i++ {
+		m, _ := r.RecvOOB(AnySource, tag)
+		sr := m.(splitReq)
+		reqs[c.index[sr.rank]] = sr
+	}
+	groups := map[int][]splitReq{}
+	var colors []int
+	for _, q := range reqs {
+		if q.color < 0 {
+			continue
+		}
+		if _, seen := groups[q.color]; !seen {
+			colors = append(colors, q.color)
+		}
+		groups[q.color] = append(groups[q.color], q)
+	}
+	sort.Ints(colors)
+	assigned := map[int]splitResp{} // world rank -> response
+	for _, col := range colors {
+		g := groups[col]
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].key != g[j].key {
+				return g[i].key < g[j].key
+			}
+			return g[i].rank < g[j].rank
+		})
+		members := make([]int, len(g))
+		for i, q := range g {
+			members[i] = q.rank
+		}
+		c.w.nextComm++
+		id := c.w.nextComm
+		for _, q := range g {
+			assigned[q.rank] = splitResp{id: id, members: members}
+		}
+	}
+	for i := 1; i < c.Size(); i++ {
+		r.SendOOB(c.members[i], tag+1, assigned[c.members[i]])
+	}
+	mine, ok := assigned[r.id]
+	if !ok {
+		return nil
+	}
+	return newComm(c.w, mine.id, mine.members)
+}
+
+const commSplitTagBase = 1 << 27
+
+// WorldComm returns the communicator spanning every rank. Collectives on
+// it run the generic algorithms of package coll; the world's pluggable
+// component remains available through the Rank collective methods.
+func (w *World) WorldComm() *Comm {
+	members := make([]int, w.Size())
+	for i := range members {
+		members[i] = i
+	}
+	return newComm(w, 1, members)
+}
+
+// CommRank is one member's handle on a communicator; it implements Ranker
+// with comm-local numbering and a comm-private tag space, so every generic
+// algorithm in package coll runs unchanged on it.
+type CommRank struct {
+	c       *Comm
+	r       *Rank
+	me      int
+	collSeq int64
+}
+
+var _ Ranker = (*CommRank)(nil)
+
+// ID returns the comm-local rank.
+func (g *CommRank) ID() int { return g.me }
+
+// Size returns the communicator size.
+func (g *CommRank) Size() int { return g.c.Size() }
+
+// Comm returns the communicator.
+func (g *CommRank) Comm() *Comm { return g.c }
+
+// World returns the underlying world rank handle.
+func (g *CommRank) World() *Rank { return g.r }
+
+func (g *CommRank) xlate(tag int) int { return tag + g.c.id*commTagStride }
+
+// Isend sends to a comm rank.
+func (g *CommRank) Isend(to, tag int, v memsim.View) *Request {
+	return g.r.Isend(g.c.members[to], g.xlate(tag), v)
+}
+
+// Irecv receives from a comm rank (or AnySource within the comm — matched
+// by the comm-scoped tag).
+func (g *CommRank) Irecv(src, tag int, v memsim.View) *Request {
+	wsrc := AnySource
+	if src != AnySource {
+		wsrc = g.c.members[src]
+	}
+	return g.r.Irecv(wsrc, g.xlate(tag), v)
+}
+
+// Send is the blocking send.
+func (g *CommRank) Send(to, tag int, v memsim.View) { g.r.Wait(g.Isend(to, tag, v)) }
+
+// Recv is the blocking receive; the returned source is comm-local.
+func (g *CommRank) Recv(src, tag int, v memsim.View) (int, int64) {
+	q := g.Irecv(src, tag, v)
+	g.r.Wait(q)
+	return g.c.index[q.matchedFrom], q.total
+}
+
+// Sendrecv pairs a send and a receive.
+func (g *CommRank) Sendrecv(to, stag int, sv memsim.View, from, rtag int, rv memsim.View) {
+	q := g.Irecv(from, rtag, rv)
+	s := g.Isend(to, stag, sv)
+	g.r.Wait(s, q)
+}
+
+// Wait forwards to the world rank's progress engine.
+func (g *CommRank) Wait(reqs ...*Request) { g.r.Wait(reqs...) }
+
+// LocalCopy forwards to the world rank.
+func (g *CommRank) LocalCopy(dst, src memsim.View) { g.r.LocalCopy(dst, src) }
+
+// Alloc forwards to the world rank.
+func (g *CommRank) Alloc(size int64) *memsim.Buffer { return g.r.Alloc(size) }
+
+// Compute forwards to the world rank.
+func (g *CommRank) Compute(ops float64) { g.r.Compute(ops) }
+
+// ApplyReduce forwards to the world rank.
+func (g *CommRank) ApplyReduce(op ReduceOp, dst, src memsim.View) { g.r.ApplyReduce(op, dst, src) }
+
+// SendOOB sends an out-of-band value to a comm rank.
+func (g *CommRank) SendOOB(to, tag int, data any) {
+	g.r.SendOOB(g.c.members[to], g.xlate(tag), data)
+}
+
+// RecvOOB receives an out-of-band value; the returned source is comm-local.
+func (g *CommRank) RecvOOB(src, tag int) (any, int) {
+	wsrc := AnySource
+	if src != AnySource {
+		wsrc = g.c.members[src]
+	}
+	data, from := g.r.RecvOOB(wsrc, g.xlate(tag))
+	return data, g.c.index[from]
+}
+
+// CollTag returns a fresh comm-scoped collective tag. As with the world
+// communicator, collective calls must be identically ordered on every
+// member.
+func (g *CommRank) CollTag() int {
+	g.collSeq++
+	return collTagBase + g.c.id*commTagStride + int(g.collSeq%collTagMod)*16
+}

@@ -1,0 +1,215 @@
+// Package mpi implements an MPI-like runtime on top of the simulated
+// machine: ranks are simulated processes pinned to cores, point-to-point
+// messages move through the shared-memory transport (copy-in/copy-out) or
+// through KNEM single-copy rendezvous, and collective operations dispatch
+// to a pluggable collective component — mirroring Open MPI's COLL/BTL
+// component architecture (§V-A of the paper).
+//
+// The runtime is intra-node only, matching the paper's scope: a single
+// "world" communicator spanning all ranks on one machine.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/knem"
+	"repro/internal/memsim"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// BTLKind selects the point-to-point transport for large messages.
+type BTLKind int
+
+const (
+	// BTLSM is pure copy-in/copy-out through shared FIFOs (Open MPI SM
+	// BTL, MPICH2 Nemesis).
+	BTLSM BTLKind = iota
+	// BTLKNEM uses KNEM single-copy rendezvous for messages above the
+	// eager threshold (Open MPI SM/KNEM BTL, MPICH2 DMA LMT).
+	BTLKNEM
+)
+
+func (b BTLKind) String() string {
+	if b == BTLKNEM {
+		return "KNEM"
+	}
+	return "SM"
+}
+
+// Coll is a collective component. All methods are called collectively: every
+// rank of the world invokes the same operation in the same order, each
+// passing its own rank handle and local buffers. Buffer conventions follow
+// MPI: rooted operations ignore the non-root side's unused buffer (pass a
+// zero View).
+type Coll interface {
+	Name() string
+	Barrier(r *Rank)
+	Bcast(r *Rank, v memsim.View, root int)
+	// Scatter sends the i-th recv.Len-sized block of send (significant at
+	// root) to rank i's recv.
+	Scatter(r *Rank, send, recv memsim.View, root int)
+	// Gather collects each rank's send into the root's recv, block i at
+	// offset i*send.Len.
+	Gather(r *Rank, send, recv memsim.View, root int)
+	Allgather(r *Rank, send, recv memsim.View)
+	// Alltoall sends block i of send to rank i and receives block i of
+	// recv from rank i; block size is send.Len/P.
+	Alltoall(r *Rank, send, recv memsim.View)
+	// Vector variants: counts[i]/displs[i] give the length and offset of
+	// the block exchanged with rank i, in bytes.
+	Gatherv(r *Rank, send memsim.View, recv memsim.View, rcounts, rdispls []int64, root int)
+	Scatterv(r *Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int)
+	Allgatherv(r *Rank, send memsim.View, recv memsim.View, rcounts, rdispls []int64)
+	Alltoallv(r *Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64)
+	// Reduce combines every rank's send into the root's recv with op.
+	Reduce(r *Rank, send, recv memsim.View, op ReduceOp, root int)
+	// Allreduce combines and delivers the result to every rank's recv.
+	Allreduce(r *Rank, send, recv memsim.View, op ReduceOp)
+	// ReduceScatterBlock combines element-wise and scatters equal blocks:
+	// rank i receives block i of the reduction (send is P*recv.Len).
+	ReduceScatterBlock(r *Rank, send, recv memsim.View, op ReduceOp)
+}
+
+// Options configures a World.
+type Options struct {
+	Machine *topology.Machine
+	// NP is the number of ranks; defaults to the machine's core count.
+	NP int
+	// Mapping pins rank i to core Mapping[i]; defaults to the identity.
+	Mapping []int
+	// BTL selects the large-message point-to-point transport.
+	BTL BTLKind
+	// KnemMin is the smallest message routed through KNEM when BTL is
+	// BTLKNEM; smaller rendezvous fall back to the SM fragment pipeline.
+	// It models MPICH2's LMT activation threshold (64 KiB); zero means
+	// every rendezvous-sized message uses KNEM (Open MPI SM/KNEM).
+	KnemMin int64
+	// SHM sizes the shared-memory transport.
+	SHM shm.Config
+	// Coll builds the collective component once per world; nil leaves
+	// collective dispatch unset (p2p-only worlds).
+	Coll func(w *World) Coll
+	// Stats receives counters; a fresh sink is created if nil.
+	Stats *trace.Stats
+	// WithData backs user allocations with real bytes (tests); phantom
+	// otherwise (large benchmark sweeps).
+	WithData bool
+	// Timeline, when non-nil, records every memory copy as a span for
+	// Gantt rendering and utilization analysis.
+	Timeline *trace.Timeline
+}
+
+// World is one MPI job on one machine.
+type World struct {
+	eng      *sim.Engine
+	net      *memsim.Net
+	tr       *shm.Transport
+	kn       *knem.Module
+	ranks    []*Rank
+	opts     Options
+	coll     Coll
+	nextComm int
+}
+
+// NewWorld builds the runtime but does not start rank bodies; most callers
+// use Run.
+func NewWorld(opts Options) (*World, error) {
+	if opts.Machine == nil {
+		return nil, fmt.Errorf("mpi: no machine")
+	}
+	if opts.NP == 0 {
+		opts.NP = opts.Machine.NCores()
+	}
+	if opts.NP < 1 || opts.NP > opts.Machine.NCores() {
+		return nil, fmt.Errorf("mpi: NP=%d out of range for %d cores", opts.NP, opts.Machine.NCores())
+	}
+	if opts.Mapping == nil {
+		opts.Mapping = make([]int, opts.NP)
+		for i := range opts.Mapping {
+			opts.Mapping[i] = i
+		}
+	}
+	if len(opts.Mapping) != opts.NP {
+		return nil, fmt.Errorf("mpi: mapping length %d != NP %d", len(opts.Mapping), opts.NP)
+	}
+	eng := sim.NewEngine()
+	net := memsim.New(eng, opts.Machine, opts.Stats)
+	if opts.Timeline != nil {
+		net.SetTimeline(opts.Timeline)
+	}
+	cores := make([]*topology.Core, opts.NP)
+	seen := make(map[int]bool)
+	for i, c := range opts.Mapping {
+		if c < 0 || c >= opts.Machine.NCores() || seen[c] {
+			return nil, fmt.Errorf("mpi: bad core mapping %v", opts.Mapping)
+		}
+		seen[c] = true
+		cores[i] = opts.Machine.Cores[c]
+	}
+	opts.SHM.WithData = opts.WithData
+	w := &World{
+		eng:      eng,
+		net:      net,
+		tr:       shm.New(net, cores, opts.SHM),
+		kn:       knem.New(net),
+		opts:     opts,
+		nextComm: 1, // 0 = the world component's tag space, 1 = WorldComm
+	}
+	for i := 0; i < opts.NP; i++ {
+		w.ranks = append(w.ranks, newRank(w, i))
+	}
+	if opts.Coll != nil {
+		w.coll = opts.Coll(w)
+	}
+	return w, nil
+}
+
+// Run executes body once per rank (SPMD) and drives the simulation to
+// completion. It returns the final simulated time.
+func Run(opts Options, body func(r *Rank)) (sim.Time, *World, error) {
+	w, err := NewWorld(opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, r := range w.ranks {
+		r := r
+		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			r.proc = p
+			body(r)
+		})
+	}
+	if err := w.eng.Run(); err != nil {
+		return w.eng.Now(), w, err
+	}
+	return w.eng.Now(), w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Machine returns the hardware model.
+func (w *World) Machine() *topology.Machine { return w.opts.Machine }
+
+// Net returns the memory simulator.
+func (w *World) Net() *memsim.Net { return w.net }
+
+// Knem returns the node's KNEM module.
+func (w *World) Knem() *knem.Module { return w.kn }
+
+// Transport returns the shared-memory transport.
+func (w *World) Transport() *shm.Transport { return w.tr }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Stats returns the counter sink.
+func (w *World) Stats() *trace.Stats { return w.net.Stats() }
+
+// Rank returns rank i's handle (for cross-rank inspection in tests).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Coll returns the world's collective component.
+func (w *World) Coll() Coll { return w.coll }

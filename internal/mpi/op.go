@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/memsim"
+)
+
+// ReduceOp is an MPI reduction operator. Apply combines src into dst
+// element-wise (dst = dst OP src); both slices have the same length, a
+// multiple of ElemSize. Operators must be associative and commutative
+// (the algorithms reorder combinations freely, as MPI permits for
+// predefined operators).
+type ReduceOp interface {
+	Name() string
+	ElemSize() int64
+	Apply(dst, src []byte)
+}
+
+// Predefined operators over little-endian elements, matching the layout
+// helpers in package asp and the examples.
+var (
+	OpSumInt32   ReduceOp = sumInt32{}
+	OpMaxInt32   ReduceOp = maxInt32{}
+	OpMinInt32   ReduceOp = minInt32{}
+	OpSumFloat64 ReduceOp = sumFloat64{}
+	OpBandUint8  ReduceOp = bandUint8{}
+)
+
+type sumInt32 struct{}
+
+func (sumInt32) Name() string    { return "sum_int32" }
+func (sumInt32) ElemSize() int64 { return 4 }
+func (sumInt32) Apply(dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		v := int32(binary.LittleEndian.Uint32(dst[i:])) + int32(binary.LittleEndian.Uint32(src[i:]))
+		binary.LittleEndian.PutUint32(dst[i:], uint32(v))
+	}
+}
+
+type maxInt32 struct{}
+
+func (maxInt32) Name() string    { return "max_int32" }
+func (maxInt32) ElemSize() int64 { return 4 }
+func (maxInt32) Apply(dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		a := int32(binary.LittleEndian.Uint32(dst[i:]))
+		b := int32(binary.LittleEndian.Uint32(src[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint32(dst[i:], uint32(b))
+		}
+	}
+}
+
+type minInt32 struct{}
+
+func (minInt32) Name() string    { return "min_int32" }
+func (minInt32) ElemSize() int64 { return 4 }
+func (minInt32) Apply(dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		a := int32(binary.LittleEndian.Uint32(dst[i:]))
+		b := int32(binary.LittleEndian.Uint32(src[i:]))
+		if b < a {
+			binary.LittleEndian.PutUint32(dst[i:], uint32(b))
+		}
+	}
+}
+
+type sumFloat64 struct{}
+
+func (sumFloat64) Name() string    { return "sum_float64" }
+func (sumFloat64) ElemSize() int64 { return 8 }
+func (sumFloat64) Apply(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:])) +
+			math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(v))
+	}
+}
+
+type bandUint8 struct{}
+
+func (bandUint8) Name() string    { return "band_uint8" }
+func (bandUint8) ElemSize() int64 { return 1 }
+func (bandUint8) Apply(dst, src []byte) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+// reduceOpsPerByte is the charged computational cost of combining one byte
+// (load + op + store at the machines' nominal rates).
+const reduceOpsPerByte = 0.75
+
+// ApplyReduce combines src into dst with op: real bytes are combined when
+// present, and the combine cost is charged to the simulated clock either
+// way.
+func (r *Rank) ApplyReduce(op ReduceOp, dst, src memsim.View) {
+	if dst.Len != src.Len {
+		panic("mpi: ApplyReduce length mismatch")
+	}
+	if d, s := dst.Bytes(), src.Bytes(); d != nil && s != nil {
+		op.Apply(d, s)
+	}
+	r.Compute(float64(dst.Len) * reduceOpsPerByte)
+}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func packI32(vals ...int32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+func unpackI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func TestIntOps(t *testing.T) {
+	dst := packI32(1, -5, 100, 0)
+	src := packI32(2, -7, 50, 0)
+
+	d := append([]byte(nil), dst...)
+	OpSumInt32.Apply(d, src)
+	if got := unpackI32(d); got[0] != 3 || got[1] != -12 || got[2] != 150 || got[3] != 0 {
+		t.Fatalf("sum = %v", got)
+	}
+	d = append([]byte(nil), dst...)
+	OpMaxInt32.Apply(d, src)
+	if got := unpackI32(d); got[0] != 2 || got[1] != -5 || got[2] != 100 || got[3] != 0 {
+		t.Fatalf("max = %v", got)
+	}
+	d = append([]byte(nil), dst...)
+	OpMinInt32.Apply(d, src)
+	if got := unpackI32(d); got[0] != 1 || got[1] != -7 || got[2] != 50 || got[3] != 0 {
+		t.Fatalf("min = %v", got)
+	}
+}
+
+func TestFloatAndBandOps(t *testing.T) {
+	d := make([]byte, 16)
+	s := make([]byte, 16)
+	binary.LittleEndian.PutUint64(d, math.Float64bits(1.5))
+	binary.LittleEndian.PutUint64(d[8:], math.Float64bits(-2.0))
+	binary.LittleEndian.PutUint64(s, math.Float64bits(2.25))
+	binary.LittleEndian.PutUint64(s[8:], math.Float64bits(0.5))
+	OpSumFloat64.Apply(d, s)
+	if v := math.Float64frombits(binary.LittleEndian.Uint64(d)); v != 3.75 {
+		t.Fatalf("fsum[0] = %g", v)
+	}
+	if v := math.Float64frombits(binary.LittleEndian.Uint64(d[8:])); v != -1.5 {
+		t.Fatalf("fsum[1] = %g", v)
+	}
+
+	bd := []byte{0xFF, 0x0F, 0xAA}
+	bs := []byte{0xF0, 0xFF, 0x0F}
+	OpBandUint8.Apply(bd, bs)
+	if bd[0] != 0xF0 || bd[1] != 0x0F || bd[2] != 0x0A {
+		t.Fatalf("band = %v", bd)
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		name string
+		elem int64
+	}{
+		{OpSumInt32, "sum_int32", 4},
+		{OpMaxInt32, "max_int32", 4},
+		{OpMinInt32, "min_int32", 4},
+		{OpSumFloat64, "sum_float64", 8},
+		{OpBandUint8, "band_uint8", 1},
+	}
+	for _, c := range cases {
+		if c.op.Name() != c.name || c.op.ElemSize() != c.elem {
+			t.Errorf("%s: name=%q elem=%d", c.name, c.op.Name(), c.op.ElemSize())
+		}
+	}
+}
+
+// Property: the integer operators are associative and commutative on
+// random vectors (the freedom the collective algorithms rely on).
+func TestOpAlgebraProperty(t *testing.T) {
+	f := func(a, b, c []int32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b, c = a[:n], b[:n], c[:n]
+		for _, op := range []ReduceOp{OpSumInt32, OpMaxInt32, OpMinInt32} {
+			// (a op b) op c == a op (b op c)
+			left := packI32(a...)
+			op.Apply(left, packI32(b...))
+			op.Apply(left, packI32(c...))
+			bc := packI32(b...)
+			op.Apply(bc, packI32(c...))
+			right := packI32(a...)
+			op.Apply(right, bc)
+			for i := range left {
+				if left[i] != right[i] {
+					return false
+				}
+			}
+			// a op b == b op a
+			ab := packI32(a...)
+			op.Apply(ab, packI32(b...))
+			ba := packI32(b...)
+			op.Apply(ba, packI32(a...))
+			for i := range ab {
+				if ab[i] != ba[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package samplesort implements parallel sample sort, a second
+// collective-heavy application exercising the stack end to end: local
+// sort, splitter selection through Allgather, a data-dependent Alltoallv
+// redistribution (uneven counts — the operation the paper's Fig. 7
+// studies), and a final verification Allreduce.
+//
+// Keys are little-endian uint32s carried in simulated buffers, so the
+// whole pipeline — including the kernel-assisted exchanges — moves real
+// data and the result is checkable against a sequential sort.
+package samplesort
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Config parameterizes one sort.
+type Config struct {
+	// KeysPerRank is each rank's initial share.
+	KeysPerRank int
+	// Oversample is the number of samples each rank contributes to
+	// splitter selection (default 8).
+	Oversample int
+	// Seed generates the input.
+	Seed int64
+}
+
+// Result reports one rank's outcome.
+type Result struct {
+	// Keys is this rank's sorted output partition.
+	Keys []uint32
+	// Counts traces how many keys this rank sent to each peer.
+	Counts []int64
+	// Seconds is the total simulated time of the sort.
+	Seconds float64
+}
+
+// Input deterministically generates rank's initial keys.
+func Input(cfg Config, rank int) []uint32 {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rank)*1009))
+	keys := make([]uint32, cfg.KeysPerRank)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	return keys
+}
+
+// Run executes the sort as rank r's SPMD body.
+func Run(r *mpi.Rank, cfg Config) Result {
+	if cfg.Oversample == 0 {
+		cfg.Oversample = 8
+	}
+	p := r.Size()
+	me := r.ID()
+	start := r.Now()
+
+	// Phase 1: local sort (charged; the keys are sorted in Go directly).
+	keys := Input(cfg, me)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	r.Compute(float64(len(keys)) * 20) // ~n log n at paper-era rates
+
+	// Phase 2: regular sampling -> Allgather -> splitters.
+	s := cfg.Oversample
+	mySamples := r.AllocData(int64(s) * 4)
+	for i := 0; i < s; i++ {
+		idx := (i + 1) * len(keys) / (s + 1)
+		binary.LittleEndian.PutUint32(mySamples.Data[i*4:], keys[idx])
+	}
+	allSamples := r.AllocData(int64(p*s) * 4)
+	r.Allgather(mySamples.Whole(), allSamples.Whole())
+	samples := make([]uint32, p*s)
+	for i := range samples {
+		samples[i] = binary.LittleEndian.Uint32(allSamples.Data[i*4:])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	splitters := make([]uint32, p-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*s]
+	}
+
+	// Phase 3: partition and exchange counts, then keys (Alltoallv with
+	// data-dependent counts).
+	scounts := make([]int64, p)
+	sdispls := make([]int64, p)
+	dest := 0
+	for _, k := range keys {
+		for dest < p-1 && k >= splitters[dest] {
+			dest++
+		}
+		scounts[dest] += 4
+	}
+	var off int64
+	for i := range scounts {
+		sdispls[i] = off
+		off += scounts[i]
+	}
+	sendBuf := r.AllocData(off)
+	pos := append([]int64(nil), sdispls...)
+	for _, k := range keys {
+		d := sort.Search(len(splitters), func(i int) bool { return k < splitters[i] })
+		binary.LittleEndian.PutUint32(sendBuf.Data[pos[d]:], k)
+		pos[d] += 4
+	}
+
+	countsMsg := r.AllocData(int64(p) * 8)
+	for i, c := range scounts {
+		binary.LittleEndian.PutUint64(countsMsg.Data[i*8:], uint64(c))
+	}
+	countsAll := r.AllocData(int64(p*p) * 8)
+	r.Allgather(countsMsg.Whole(), countsAll.Whole())
+	rcounts := make([]int64, p)
+	rdispls := make([]int64, p)
+	var roff int64
+	for i := 0; i < p; i++ {
+		rcounts[i] = int64(binary.LittleEndian.Uint64(countsAll.Data[(i*p+me)*8:]))
+		rdispls[i] = roff
+		roff += rcounts[i]
+	}
+	recvBuf := r.AllocData(roff)
+	r.Alltoallv(sendBuf.Whole(), scounts, sdispls, recvBuf.Whole(), rcounts, rdispls)
+
+	// Phase 4: local merge of the received runs.
+	got := make([]uint32, roff/4)
+	for i := range got {
+		got[i] = binary.LittleEndian.Uint32(recvBuf.Data[i*4:])
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	r.Compute(float64(len(got)) * 20)
+
+	// Phase 5: sanity Allreduce — the global key count must be conserved.
+	local := r.AllocData(4)
+	binary.LittleEndian.PutUint32(local.Data, uint32(len(got)))
+	total := r.AllocData(4)
+	r.Allreduce(local.Whole(), total.Whole(), mpi.OpSumInt32)
+	if int(binary.LittleEndian.Uint32(total.Data)) != p*cfg.KeysPerRank {
+		panic("samplesort: keys lost or duplicated")
+	}
+
+	return Result{Keys: got, Counts: scounts, Seconds: r.Now() - start}
+}
+
+// Verify checks a distributed result against the sequentially sorted
+// concatenation of all inputs. results must be indexed by rank.
+func Verify(cfg Config, p int, results []Result) bool {
+	var all []uint32
+	for rank := 0; rank < p; rank++ {
+		all = append(all, Input(cfg, rank)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var got []uint32
+	for _, res := range results {
+		got = append(got, res.Keys...)
+	}
+	if len(got) != len(all) {
+		return false
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			return false
+		}
+	}
+	// Partitions must be globally ordered: rank i's max <= rank i+1's min.
+	for i := 0; i+1 < p; i++ {
+		a, b := results[i].Keys, results[i+1].Keys
+		if len(a) > 0 && len(b) > 0 && a[len(a)-1] > b[0] {
+			return false
+		}
+	}
+	return true
+}

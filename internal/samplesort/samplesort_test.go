@@ -1,0 +1,86 @@
+package samplesort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coll/tuned"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func runSort(t *testing.T, mach *topology.Machine, np int, coll func(w *mpi.World) mpi.Coll, cfg Config) []Result {
+	t.Helper()
+	results := make([]Result, np)
+	_, _, err := mpi.Run(mpi.Options{
+		Machine: mach, NP: np, Coll: coll, WithData: true,
+	}, func(r *mpi.Rank) {
+		results[r.ID()] = Run(r, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestSortCorrectAcrossComponents(t *testing.T) {
+	cfg := Config{KeysPerRank: 3000, Seed: 5}
+	cases := []struct {
+		name string
+		mach *topology.Machine
+		np   int
+		coll func(w *mpi.World) mpi.Coll
+	}{
+		{"tuned-dancer", topology.Dancer(), 8, tuned.New},
+		{"knem-dancer", topology.Dancer(), 8, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Threshold: 1})
+		}},
+		{"knem-ig", topology.IG(), 16, core.New},
+		{"knem-np5", topology.Dancer(), 5, core.New},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			results := runSort(t, c.mach, c.np, c.coll, cfg)
+			if !Verify(cfg, c.np, results) {
+				t.Fatal("distributed sort does not match sequential sort")
+			}
+		})
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		cfg := Config{KeysPerRank: int(kk)%500 + 64, Seed: seed}
+		results := make([]Result, 4)
+		_, _, err := mpi.Run(mpi.Options{
+			Machine: topology.Dancer(), NP: 4, Coll: core.New, WithData: true,
+		}, func(r *mpi.Rank) {
+			results[r.ID()] = Run(r, cfg)
+		})
+		return err == nil && Verify(cfg, 4, results)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountsConserved(t *testing.T) {
+	cfg := Config{KeysPerRank: 2000, Seed: 9}
+	results := runSort(t, topology.Dancer(), 8, tuned.New, cfg)
+	var sentBytes int64
+	var gotKeys int
+	for _, res := range results {
+		for _, c := range res.Counts {
+			sentBytes += c
+		}
+		gotKeys += len(res.Keys)
+	}
+	if sentBytes != int64(8*cfg.KeysPerRank*4) {
+		t.Fatalf("sent %d bytes, want %d", sentBytes, 8*cfg.KeysPerRank*4)
+	}
+	if gotKeys != 8*cfg.KeysPerRank {
+		t.Fatalf("received %d keys, want %d", gotKeys, 8*cfg.KeysPerRank)
+	}
+}

@@ -1,0 +1,241 @@
+package shm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func setup(t *testing.T) (*sim.Engine, *memsim.Net, *Transport) {
+	t.Helper()
+	m := topology.Dancer()
+	e := sim.NewEngine()
+	n := memsim.New(e, m, nil)
+	return e, n, New(n, m.Cores, Config{WithData: true})
+}
+
+func TestCtrlLatencyAndOrder(t *testing.T) {
+	e, n, tr := setup(t)
+	lat := n.Machine().Spec.CtrlLatency
+	var arrivals []sim.Time
+	var payloads []int
+	e.Spawn("sender", func(p *sim.Proc) {
+		tr.SendCtrl(0, 1, 10)
+		tr.SendCtrl(0, 1, 20)
+		p.Wait(lat * 3)
+		tr.SendCtrl(0, 1, 30)
+	})
+	e.Spawn("receiver", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			m := tr.RecvCtrl(p, 1)
+			arrivals = append(arrivals, p.Now())
+			payloads = append(payloads, m.Payload.(int))
+			if m.From != 0 {
+				t.Errorf("from = %d", m.From)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if payloads[0] != 10 || payloads[1] != 20 || payloads[2] != 30 {
+		t.Fatalf("payloads = %v", payloads)
+	}
+	if arrivals[0] != lat || arrivals[2] != 4*lat {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if n.Stats().CtrlMsgs != 3 {
+		t.Fatalf("ctrl msgs = %d", n.Stats().CtrlMsgs)
+	}
+}
+
+func TestPairSlotBounded(t *testing.T) {
+	e, _, tr := setup(t)
+	pr := tr.Pair(0, 1)
+	var acquired int
+	e.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < tr.Cfg.Depth+2; i++ {
+			pr.AcquireSlot(p)
+			acquired++
+		}
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock when exceeding slot depth")
+	}
+	if acquired != tr.Cfg.Depth {
+		t.Fatalf("acquired = %d, want %d", acquired, tr.Cfg.Depth)
+	}
+}
+
+func TestSlotReuseAfterRelease(t *testing.T) {
+	e, _, tr := setup(t)
+	pr := tr.Pair(0, 1)
+	rounds := 3 * tr.Cfg.Depth
+	e.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			pr.AcquireSlot(p)
+			p.Wait(1e-6)
+		}
+	})
+	e.Spawn("receiver", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Wait(2e-6)
+			pr.ReleaseSlot()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	_, _, tr := setup(t)
+	pr := tr.Pair(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReleaseSlot without Acquire did not panic")
+		}
+	}()
+	pr.ReleaseSlot()
+}
+
+func TestSegmentOnReceiverDomain(t *testing.T) {
+	_, _, tr := setup(t)
+	pr := tr.Pair(0, 7) // endpoint 7 is on domain 1 of Dancer
+	if got := pr.slots[0].Buf.Domain.ID; got != tr.Core(7).Domain.ID {
+		t.Fatalf("segment domain = %d, want receiver's %d", got, tr.Core(7).Domain.ID)
+	}
+}
+
+func TestDoubleCopyIntegrity(t *testing.T) {
+	e, n, tr := setup(t)
+	src := n.Alloc(tr.Core(0).Domain, 1024, true)
+	dst := n.Alloc(tr.Core(5).Domain, 1024, true)
+	for i := range src.Data {
+		src.Data[i] = byte(i)
+	}
+	pr := tr.Pair(0, 5)
+	slots := sim.NewChan[memsim.View](e, 16)
+	e.Spawn("sender", func(p *sim.Proc) {
+		slot := pr.AcquireSlot(p)
+		tr.CopyIn(p, 0, slot, src.Whole())
+		slots.Send(p, slot)
+	})
+	e.Spawn("receiver", func(p *sim.Proc) {
+		slot := slots.Recv(p)
+		tr.CopyOut(p, 5, dst.Whole(), slot)
+		pr.ReleaseSlot()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst.Data {
+		if dst.Data[i] != byte(i) {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+	if n.Stats().Copies != 2 {
+		t.Fatalf("copies = %d, want 2 (the double copy)", n.Stats().Copies)
+	}
+}
+
+func TestDoubleCopyCostsTwoBusTrips(t *testing.T) {
+	e, n, tr := setup(t)
+	// Sender and receiver on the same domain: every byte crosses the bus
+	// four times (copy-in r+w, copy-out r+w) minus cache effects; with a
+	// cold cache and a 1 MB payload (fits L3), copy-out hits the slot in
+	// cache. Verify at least the structural copy count and byte volume.
+	const sz = 1 << 20
+	src := n.Alloc(tr.Core(0).Domain, sz, false)
+	dst := n.Alloc(tr.Core(1).Domain, sz, false)
+	pr := tr.Pair(0, 1)
+	frag := tr.Cfg.FragSize
+	slots := sim.NewChan[memsim.View](e, 64)
+	e.Spawn("sender", func(p *sim.Proc) {
+		for off := int64(0); off < sz; off += frag {
+			slot := pr.AcquireSlot(p)
+			tr.CopyIn(p, 0, slot, src.View(off, frag))
+			slots.Send(p, slot)
+		}
+	})
+	e.Spawn("receiver", func(p *sim.Proc) {
+		for off := int64(0); off < sz; off += frag {
+			slot := slots.Recv(p)
+			tr.CopyOut(p, 1, dst.View(off, frag), slot)
+			pr.ReleaseSlot()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().BytesCopied != 2*sz {
+		t.Fatalf("bytes copied = %d, want %d", n.Stats().BytesCopied, 2*sz)
+	}
+}
+
+// Property: any message stream through the bounded FIFO arrives intact and
+// in order, for random fragment counts and sizes.
+func TestFIFOStreamProperty(t *testing.T) {
+	f := func(nfrag uint8, seed int64) bool {
+		count := int(nfrag%20) + 1
+		m := topology.Dancer()
+		e := sim.NewEngine()
+		n := memsim.New(e, m, nil)
+		tr := New(n, m.Cores, Config{Depth: 2, WithData: true})
+		pr := tr.Pair(2, 6)
+		payload := make([]byte, count*int(tr.Cfg.FragSize))
+		for i := range payload {
+			payload[i] = byte((int64(i) * seed) >> 3)
+		}
+		src := n.Alloc(tr.Core(2).Domain, int64(len(payload)), true)
+		copy(src.Data, payload)
+		dst := n.Alloc(tr.Core(6).Domain, int64(len(payload)), true)
+		slots := sim.NewChan[memsim.View](e, 1<<20)
+		frag := tr.Cfg.FragSize
+		e.Spawn("s", func(p *sim.Proc) {
+			for i := 0; i < count; i++ {
+				slot := pr.AcquireSlot(p)
+				tr.CopyIn(p, 2, slot, src.View(int64(i)*frag, frag))
+				slots.Send(p, slot)
+			}
+		})
+		e.Spawn("r", func(p *sim.Proc) {
+			for i := 0; i < count; i++ {
+				slot := slots.Recv(p)
+				tr.CopyOut(p, 6, dst.View(int64(i)*frag, frag), slot)
+				pr.ReleaseSlot()
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := range payload {
+			if dst.Data[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.fill()
+	if c.FragSize != 32<<10 || c.EagerMax != 4<<10 || c.Depth != 8 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	bad := Config{FragSize: 1 << 10, EagerMax: 2 << 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EagerMax > FragSize accepted")
+		}
+	}()
+	bad.fill()
+}

@@ -1,0 +1,211 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperative, virtual-time processes.
+//
+// Exactly one simulated process runs at any instant: the engine and the
+// process goroutines hand control back and forth over unbuffered channels,
+// so a simulation is single-threaded in effect and bit-for-bit reproducible.
+// Events scheduled for the same instant fire in scheduling order (FIFO).
+//
+// The engine detects deadlock: if the event queue drains while processes
+// are still parked, Run returns a DeadlockError naming every parked process
+// and the reason recorded at its park site.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// Event is a handle to a scheduled callback; it can be cancelled.
+type Event struct {
+	t       Time
+	seq     int64
+	fn      func()
+	dead    bool
+	heapIdx int
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.dead = true; ev.fn = nil }
+
+// Time returns the instant the event is scheduled for.
+func (ev *Event) Time() Time { return ev.t }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.heapIdx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+
+	yield   chan struct{} // process -> engine: "I parked/finished"
+	procs   []*Proc
+	live    int // spawned processes that have not finished
+	current *Proc
+	running bool
+	stopped bool
+
+	fired     int64
+	maxEvents int64
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run after delay d (>= 0) from the current time.
+// It returns a cancellable handle. fn runs in engine context: it must not
+// block in simulated time (use Spawn for that).
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %g", d))
+	}
+	return e.at(e.now+d, fn)
+}
+
+// ScheduleAt registers fn to run at absolute time t (>= Now()).
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %g before now %g", t, e.now))
+	}
+	return e.at(t, fn)
+}
+
+func (e *Engine) at(t Time, fn func()) *Event {
+	e.seq++
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop aborts the simulation: Run returns after the current event completes.
+// Parked processes are killed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// SetMaxEvents installs a watchdog: Run returns a WatchdogError once n
+// events have fired. Use in tests to turn livelocking algorithms (e.g. a
+// protocol ping-ponging forever) into failures instead of hangs. Zero
+// disables the watchdog (the default).
+func (e *Engine) SetMaxEvents(n int64) { e.maxEvents = n }
+
+// WatchdogError reports that the event budget set by SetMaxEvents ran out.
+type WatchdogError struct {
+	Fired int64
+	At    Time
+}
+
+func (w *WatchdogError) Error() string {
+	return fmt.Sprintf("sim: watchdog: %d events fired by t=%.9fs", w.Fired, w.At)
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still parked.
+type DeadlockError struct {
+	// Parked lists "name: reason" for every parked process.
+	Parked []string
+	At     Time
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.9fs; parked: %s", d.At, strings.Join(d.Parked, "; "))
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// a *DeadlockError if processes remain parked when the queue drains, and
+// nil otherwise. Run kills all parked processes before returning so their
+// goroutines do not leak.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.t < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.t
+		e.fired++
+		ev.fn()
+		if e.maxEvents > 0 && e.fired >= e.maxEvents {
+			e.killParked()
+			return &WatchdogError{Fired: e.fired, At: e.now}
+		}
+	}
+	var err error
+	if !e.stopped && e.live > 0 {
+		d := &DeadlockError{At: e.now}
+		for _, p := range e.procs {
+			if p.state == procParked {
+				d.Parked = append(d.Parked, p.name+": "+p.blockReason)
+			}
+		}
+		sort.Strings(d.Parked)
+		err = d
+	}
+	e.killParked()
+	return err
+}
+
+func (e *Engine) killParked() {
+	for _, p := range e.procs {
+		if p.state == procParked {
+			p.killed = true
+			e.dispatch(p)
+		}
+	}
+}
+
+// dispatch transfers control to p and blocks until p parks or finishes.
+func (e *Engine) dispatch(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}

@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// procKilled is the panic value used to unwind killed processes.
+type procKilled struct{}
+
+// Proc is a simulated process. Its body runs on a dedicated goroutine but
+// only while the engine has dispatched it, so process code never races with
+// other processes or with the engine.
+type Proc struct {
+	eng         *Engine
+	name        string
+	resume      chan struct{}
+	state       procState
+	blockReason string
+	killed      bool
+}
+
+// Spawn starts fn as a new simulated process at the current time. The name
+// appears in deadlock reports.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume
+		if !p.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(procKilled); !ok {
+							panic(r)
+						}
+					}
+				}()
+				p.state = procRunning
+				fn(p)
+			}()
+		}
+		p.state = procDone
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.Schedule(0, func() {
+		if p.state == procNew {
+			e.dispatch(p)
+		}
+	})
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Wait suspends the process for d seconds of simulated time.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Wait with negative duration %g", d))
+	}
+	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.Park("waiting")
+}
+
+// Park suspends the process until something wakes it via WakeAt/wake.
+// reason appears in deadlock reports. Process code normally uses the
+// blocking primitives (Chan, Semaphore, ...) rather than Park directly,
+// but Park/Wake are exported so higher layers (e.g. the memory simulator)
+// can build their own blocking operations.
+func (p *Proc) Park(reason string) {
+	p.blockReason = reason
+	p.state = procParked
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+	p.state = procRunning
+	p.blockReason = ""
+}
+
+// Wake schedules p to resume at the current time (after the caller yields).
+// Waking a process that is not parked panics at dispatch time.
+func (p *Proc) Wake() {
+	p.eng.Schedule(0, func() {
+		if p.state != procParked {
+			panic("sim: Wake of non-parked process " + p.name)
+		}
+		p.eng.dispatch(p)
+	})
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == procDone }

@@ -1,0 +1,221 @@
+package sim
+
+// Chan is a typed FIFO channel between simulated processes. A capacity of
+// zero gives rendezvous semantics (Send blocks until a Recv arrives, and
+// vice versa); a positive capacity buffers that many elements.
+type Chan[T any] struct {
+	eng   *Engine
+	cap   int
+	buf   []T
+	sendQ []*chanWaiter[T]
+	recvQ []*chanWaiter[T]
+}
+
+type chanWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+// NewChan creates a channel with the given buffer capacity (>= 0).
+func NewChan[T any](e *Engine, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{eng: e, cap: capacity}
+}
+
+// Len returns the number of buffered elements.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v, blocking p in simulated time while the channel is full
+// (or, for capacity zero, until a receiver arrives).
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if len(c.recvQ) > 0 {
+		w := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		w.v = v
+		w.p.Wake()
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &chanWaiter[T]{p: p, v: v}
+	c.sendQ = append(c.sendQ, w)
+	p.Park("chan send")
+}
+
+// TrySend delivers v without blocking; it reports whether delivery happened.
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvQ) > 0 {
+		w := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		w.v = v
+		w.p.Wake()
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv returns the next element, blocking p while the channel is empty.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendQ) > 0 {
+			w := c.sendQ[0]
+			c.sendQ = c.sendQ[1:]
+			c.buf = append(c.buf, w.v)
+			w.p.Wake()
+		}
+		return v
+	}
+	if len(c.sendQ) > 0 { // capacity 0 rendezvous
+		w := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		w.p.Wake()
+		return w.v
+	}
+	w := &chanWaiter[T]{p: p}
+	c.recvQ = append(c.recvQ, w)
+	p.Park("chan recv")
+	return w.v
+}
+
+// TryRecv returns the next element without blocking; ok reports whether an
+// element was available.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendQ) > 0 {
+			w := c.sendQ[0]
+			c.sendQ = c.sendQ[1:]
+			c.buf = append(c.buf, w.v)
+			w.p.Wake()
+		}
+		return v, true
+	}
+	if len(c.sendQ) > 0 {
+		w := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		w.p.Wake()
+		return w.v, true
+	}
+	return v, false
+}
+
+// Semaphore is a counting semaphore in simulated time.
+type Semaphore struct {
+	count int
+	waitQ []*semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{count: initial}
+}
+
+// Acquire takes n units, blocking p until they are available.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		panic("sim: Acquire of non-positive count")
+	}
+	if len(s.waitQ) == 0 && s.count >= n {
+		s.count -= n
+		return
+	}
+	s.waitQ = append(s.waitQ, &semWaiter{p: p, n: n})
+	p.Park("semaphore acquire")
+}
+
+// Release returns n units and wakes eligible waiters in FIFO order.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		panic("sim: Release of non-positive count")
+	}
+	s.count += n
+	for len(s.waitQ) > 0 && s.count >= s.waitQ[0].n {
+		w := s.waitQ[0]
+		s.waitQ = s.waitQ[1:]
+		s.count -= w.n
+		w.p.Wake()
+	}
+}
+
+// Count returns the currently available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Barrier synchronizes a fixed set of n participants: each call to Arrive
+// blocks until all n have arrived, then all are released and the barrier
+// resets for reuse.
+type Barrier struct {
+	n       int
+	arrived []*Proc
+}
+
+// NewBarrier creates a barrier for n participants (n >= 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier size < 1")
+	}
+	return &Barrier{n: n}
+}
+
+// Arrive blocks p until all participants have arrived.
+func (b *Barrier) Arrive(p *Proc) {
+	if len(b.arrived)+1 == b.n {
+		for _, q := range b.arrived {
+			q.Wake()
+		}
+		b.arrived = b.arrived[:0]
+		return
+	}
+	b.arrived = append(b.arrived, p)
+	p.Park("barrier")
+}
+
+// WaitGroup counts outstanding work in simulated time.
+type WaitGroup struct {
+	count int
+	waitQ []*Proc
+}
+
+// Add adjusts the outstanding count by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	if wg.count == 0 {
+		for _, p := range wg.waitQ {
+			p.Wake()
+		}
+		wg.waitQ = nil
+	}
+}
+
+// Done decrements the outstanding count.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the count reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waitQ = append(wg.waitQ, p)
+	p.Park("waitgroup")
+}

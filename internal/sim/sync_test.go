@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustRun(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanBuffered(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 2)
+	var got []int
+	e.Spawn("sender", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			ch.Send(p, i)
+		}
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		p.Wait(1)
+		for i := 0; i < 5; i++ {
+			got = append(got, ch.Recv(p))
+		}
+	})
+	mustRun(t, e)
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[string](e, 0)
+	var sentAt, recvAt Time
+	e.Spawn("s", func(p *Proc) {
+		ch.Send(p, "x")
+		sentAt = p.Now()
+	})
+	e.Spawn("r", func(p *Proc) {
+		p.Wait(3)
+		if v := ch.Recv(p); v != "x" {
+			t.Errorf("recv %q", v)
+		}
+		recvAt = p.Now()
+	})
+	mustRun(t, e)
+	if sentAt != 3 || recvAt != 3 {
+		t.Fatalf("sentAt=%g recvAt=%g, want both 3", sentAt, recvAt)
+	}
+}
+
+func TestChanFIFOAcrossSenders(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 0)
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("s", func(p *Proc) {
+			p.Wait(float64(i)) // stagger: sender i parks at time i
+			ch.Send(p, i)
+		})
+	}
+	e.Spawn("r", func(p *Proc) {
+		p.Wait(10)
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(p))
+		}
+	})
+	mustRun(t, e)
+	for i := 0; i < 3; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestTrySendTryRecv(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 1)
+	e.Spawn("p", func(p *Proc) {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty succeeded")
+		}
+		if !ch.TrySend(7) {
+			t.Error("TrySend on empty failed")
+		}
+		if ch.TrySend(8) {
+			t.Error("TrySend on full succeeded")
+		}
+		v, ok := ch.TryRecv()
+		if !ok || v != 7 {
+			t.Errorf("TryRecv = %d,%v", v, ok)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestSemaphore(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(2)
+	var order []string
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		e.Spawn(name, func(p *Proc) {
+			sem.Acquire(p, 1)
+			order = append(order, name+"+")
+			p.Wait(1)
+			order = append(order, name+"-")
+			sem.Release(1)
+		})
+	}
+	mustRun(t, e)
+	// a,b enter immediately; c,d after releases.
+	if order[0] != "a+" || order[1] != "b+" {
+		t.Fatalf("order = %v", order)
+	}
+	if len(order) != 8 {
+		t.Fatalf("len(order) = %d", len(order))
+	}
+}
+
+func TestSemaphoreMultiUnit(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(3)
+	var at3 Time
+	e.Spawn("big", func(p *Proc) {
+		p.Wait(0.1)
+		sem.Acquire(p, 3)
+		at3 = p.Now()
+	})
+	e.Spawn("small", func(p *Proc) {
+		sem.Acquire(p, 1)
+		p.Wait(5)
+		sem.Release(1)
+	})
+	mustRun(t, e)
+	if at3 != 5 {
+		t.Fatalf("big acquired at %g, want 5", at3)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(3)
+	var releaseTimes []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Wait(float64(i * 2))
+			b.Arrive(p)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	mustRun(t, e)
+	for _, rt := range releaseTimes {
+		if rt != 4 {
+			t.Fatalf("release times = %v, want all 4", releaseTimes)
+		}
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			for r := 0; r < 3; r++ {
+				p.Wait(float64(i + 1))
+				b.Arrive(p)
+				if i == 0 {
+					rounds++
+				}
+			}
+		})
+	}
+	mustRun(t, e)
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	wg.Add(3)
+	var doneAt Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Wait(float64(i + 1))
+			wg.Done()
+		})
+	}
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	mustRun(t, e)
+	if doneAt != 3 {
+		t.Fatalf("doneAt = %g, want 3", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	ran := false
+	e.Spawn("w", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	mustRun(t, e)
+	if !ran {
+		t.Fatal("Wait on zero WaitGroup blocked")
+	}
+}
+
+// Property: a bounded channel never holds more than its capacity, and all
+// messages arrive exactly once in send order.
+func TestChanIntegrityProperty(t *testing.T) {
+	f := func(capacity uint8, n uint8) bool {
+		c := int(capacity % 8)
+		count := int(n%50) + 1
+		e := NewEngine()
+		ch := NewChan[int](e, c)
+		var got []int
+		e.Spawn("s", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				if ch.Len() > c {
+					t.Errorf("chan len %d > cap %d", ch.Len(), c)
+				}
+				ch.Send(p, i)
+			}
+		})
+		e.Spawn("r", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				p.Wait(0.001)
+				got = append(got, ch.Recv(p))
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMachine asserts the parser never panics and either returns a
+// valid machine or an error, for arbitrary inputs.
+func FuzzParseMachine(f *testing.F) {
+	f.Add(sampleMachine)
+	f.Add("machine x\nspec corebw=1G\ndomain a bus=1G cores=1 cache=1Mi port=1G")
+	f.Add("machine x\nspec corebw=1G trap=1u\n# comment\ndomain a bus=2G cores=2 cache=4Ki port=9G\ndomain b bus=2G cores=2 cache=4Ki port=9G\nlink a b l 3G")
+	f.Add("garbage\x00\xff")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ParseMachine(strings.NewReader(in))
+		if err == nil && m != nil {
+			// A successful parse must yield a routable machine.
+			if m.NCores() < 1 {
+				t.Fatal("parsed machine with no cores")
+			}
+			for _, a := range m.Domains {
+				for _, b := range m.Domains {
+					_ = m.DomainDistance(a, b) // must not panic
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseMachine reads a machine description, letting users model their own
+// hardware without writing Go. The format is line-oriented; '#' starts a
+// comment. Example:
+//
+//	machine mybox
+//	spec corebw=3G trap=100n setup=500n pin=40n ctrl=400n flops=5.6G
+//	domain n0 bus=10G cores=6 cache=5Mi port=24G
+//	domain n1 bus=10G cores=6 cache=5Mi port=24G
+//	link n0 n1 ht 6G
+//
+// Bandwidths and rates take decimal suffixes (K=1e3, M=1e6, G=1e9);
+// times take n/u/m (nano/micro/milli seconds); cache sizes take binary
+// suffixes (Ki, Mi, Gi). Every domain doubles as one cache group. Links
+// connect domains by name.
+func ParseMachine(rd io.Reader) (*Machine, error) {
+	sc := bufio.NewScanner(rd)
+	var name string
+	var spec Spec
+	type domSpec struct {
+		name  string
+		bus   float64
+		cores int
+		cache int64
+		port  float64
+		board int
+	}
+	var doms []domSpec
+	type linkSpec struct {
+		a, b, name string
+		bw         float64
+	}
+	var links []linkSpec
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("machine file line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "machine":
+			if len(fields) != 2 {
+				return nil, fail("machine wants one name")
+			}
+			name = fields[1]
+		case "spec":
+			for _, kv := range fields[1:] {
+				k, v, err := splitKV(kv)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				switch k {
+				case "corebw":
+					spec.CoreCopyBW, err = parseRate(v)
+				case "trap":
+					spec.KernelTrap, err = parseTime(v)
+				case "setup":
+					spec.CopySetup, err = parseTime(v)
+				case "pin":
+					spec.PinPerPage, err = parseTime(v)
+				case "ctrl":
+					spec.CtrlLatency, err = parseTime(v)
+				case "flops":
+					spec.Flops, err = parseRate(v)
+				case "dma":
+					spec.DMABw, err = parseRate(v)
+				default:
+					return nil, fail("unknown spec field %q", k)
+				}
+				if err != nil {
+					return nil, fail("%s: %v", k, err)
+				}
+			}
+		case "domain":
+			if len(fields) < 2 {
+				return nil, fail("domain wants a name")
+			}
+			d := domSpec{name: fields[1]}
+			for _, kv := range fields[2:] {
+				k, v, err := splitKV(kv)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				switch k {
+				case "bus":
+					d.bus, err = parseRate(v)
+				case "cores":
+					d.cores, err = strconv.Atoi(v)
+				case "cache":
+					d.cache, err = parseBytes(v)
+				case "port":
+					d.port, err = parseRate(v)
+				case "board":
+					d.board, err = strconv.Atoi(v)
+				default:
+					return nil, fail("unknown domain field %q", k)
+				}
+				if err != nil {
+					return nil, fail("%s: %v", k, err)
+				}
+			}
+			if d.bus <= 0 || d.cores <= 0 || d.cache <= 0 || d.port <= 0 {
+				return nil, fail("domain %s needs positive bus, cores, cache, port", d.name)
+			}
+			doms = append(doms, d)
+		case "link":
+			if len(fields) != 5 {
+				return nil, fail("link wants: link <domA> <domB> <name> <bw>")
+			}
+			bw, err := parseRate(fields[4])
+			if err != nil {
+				return nil, fail("link bw: %v", err)
+			}
+			links = append(links, linkSpec{a: fields[1], b: fields[2], name: fields[3], bw: bw})
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		return nil, fmt.Errorf("machine file: missing 'machine <name>' line")
+	}
+	if spec.CoreCopyBW <= 0 {
+		return nil, fmt.Errorf("machine file: spec corebw is required")
+	}
+	if len(doms) == 0 {
+		return nil, fmt.Errorf("machine file: at least one domain is required")
+	}
+
+	b := NewBuilder(name, spec)
+	verts := make(map[string]int, len(doms))
+	for _, d := range doms {
+		if _, dup := verts[d.name]; dup {
+			return nil, fmt.Errorf("machine file: duplicate domain %q", d.name)
+		}
+		verts[d.name] = b.Vertex(d.name)
+	}
+	for _, l := range links {
+		va, ok := verts[l.a]
+		if !ok {
+			return nil, fmt.Errorf("machine file: link references unknown domain %q", l.a)
+		}
+		vb, ok := verts[l.b]
+		if !ok {
+			return nil, fmt.Errorf("machine file: link references unknown domain %q", l.b)
+		}
+		b.Connect(va, vb, l.name, l.bw)
+	}
+	for _, d := range doms {
+		dom := b.DomainOnBoard(verts[d.name], d.bus, d.board)
+		g := b.Group(verts[d.name], d.cache, d.port)
+		for i := 0; i < d.cores; i++ {
+			b.Core(verts[d.name], dom, g)
+		}
+	}
+	if len(doms) > 1 && len(links) == 0 {
+		return nil, fmt.Errorf("machine file: %d domains but no links", len(doms))
+	}
+	return b.Build(), nil
+}
+
+func splitKV(s string) (string, string, error) {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" || v == "" {
+		return "", "", fmt.Errorf("malformed field %q (want key=value)", s)
+	}
+	return k, v, nil
+}
+
+// parseRate parses decimal-suffixed rates: 3G = 3e9 (per second).
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return v * mult, nil
+}
+
+// parseTime parses n/u/m-suffixed durations in seconds: 100n = 100e-9.
+func parseTime(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, s[:len(s)-1]
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return v * mult, nil
+}
+
+// parseBytes parses binary-suffixed sizes: 5Mi = 5 << 20.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "Gi"):
+		mult, s = 1<<30, s[:len(s)-2]
+	case strings.HasSuffix(s, "Mi"):
+		mult, s = 1<<20, s[:len(s)-2]
+	case strings.HasSuffix(s, "Ki"):
+		mult, s = 1<<10, s[:len(s)-2]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+// LoadMachine resolves a machine by built-in name (Zoot, Dancer, Saturn,
+// IG) or, failing that, by reading a machine-description file at the given
+// path.
+func LoadMachine(nameOrPath string) (*Machine, error) {
+	if m := ByName(nameOrPath); m != nil {
+		return m, nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %q is not a built-in machine and not a readable file: %w", nameOrPath, err)
+	}
+	defer f.Close()
+	return ParseMachine(f)
+}

@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleMachine = `
+# two-socket NUMA box
+machine twobox
+spec corebw=4.5G trap=100n setup=500n pin=40n ctrl=300n flops=5.5G
+domain n0 bus=16G cores=4 cache=8Mi port=30G
+domain n1 bus=16G cores=4 cache=8Mi port=30G
+link n0 n1 qpi 11G
+`
+
+func TestParseMachine(t *testing.T) {
+	m, err := ParseMachine(strings.NewReader(sampleMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "twobox" || m.NCores() != 8 || len(m.Domains) != 2 || len(m.Groups) != 2 {
+		t.Fatalf("shape: %s cores=%d domains=%d groups=%d", m.Name, m.NCores(), len(m.Domains), len(m.Groups))
+	}
+	close := func(a, b float64) bool { d := a - b; return d < 1e-12*b && d > -1e-12*b }
+	if !close(m.Spec.CoreCopyBW, 4.5e9) || !close(m.Spec.KernelTrap, 100e-9) || !close(m.Spec.CopySetup, 500e-9) {
+		t.Fatalf("spec: %+v", m.Spec)
+	}
+	if m.Domains[0].Bus.BW != 16e9 {
+		t.Fatalf("bus bw = %g", m.Domains[0].Bus.BW)
+	}
+	if m.Groups[1].Size != 8<<20 || m.Groups[1].Port.BW != 30e9 {
+		t.Fatalf("group: size=%d port=%g", m.Groups[1].Size, m.Groups[1].Port.BW)
+	}
+	if m.DomainDistance(m.Domains[0], m.Domains[1]) != 1 {
+		t.Fatal("domains not connected")
+	}
+	p := m.PathToDomain(m.Domains[0].Cores[0], m.Domains[1])
+	if len(p) != 2 || p[0].Name != "qpi" {
+		t.Fatalf("cross path = %v", p)
+	}
+}
+
+// A parsed machine is equivalent to the built-in Dancer when given the
+// same parameters — same broadcast timing.
+func TestParsedMachineMatchesBuiltin(t *testing.T) {
+	m, err := ParseMachine(strings.NewReader(sampleMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Dancer()
+	if len(m.Links) != len(d.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(m.Links), len(d.Links))
+	}
+	for i := range m.Links {
+		if m.Links[i].BW != d.Links[i].BW {
+			t.Fatalf("link %d bw %g vs %g", i, m.Links[i].BW, d.Links[i].BW)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no-machine", "domain a bus=1G cores=1 cache=1Mi port=1G"},
+		{"no-corebw", "machine x\ndomain a bus=1G cores=1 cache=1Mi port=1G"},
+		{"bad-directive", "machine x\nspec corebw=1G\nfoo bar"},
+		{"bad-kv", "machine x\nspec corebw"},
+		{"bad-rate", "machine x\nspec corebw=abc"},
+		{"dup-domain", "machine x\nspec corebw=1G\ndomain a bus=1G cores=1 cache=1Mi port=1G\ndomain a bus=1G cores=1 cache=1Mi port=1G"},
+		{"unknown-link-dom", "machine x\nspec corebw=1G\ndomain a bus=1G cores=1 cache=1Mi port=1G\nlink a b l 1G"},
+		{"disconnected", "machine x\nspec corebw=1G\ndomain a bus=1G cores=1 cache=1Mi port=1G\ndomain b bus=1G cores=1 cache=1Mi port=1G"},
+		{"zero-cores", "machine x\nspec corebw=1G\ndomain a bus=1G cores=0 cache=1Mi port=1G"},
+		{"bad-size", "machine x\nspec corebw=1G\ndomain a bus=1G cores=1 cache=oops port=1G"},
+		{"link-arity", "machine x\nspec corebw=1G\ndomain a bus=1G cores=1 cache=1Mi port=1G\nlink a"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseMachine(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("no error for %q", c.in)
+			}
+		})
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	if v, _ := parseRate("2.5K"); v != 2500 {
+		t.Errorf("2.5K = %g", v)
+	}
+	if v, _ := parseTime("3u"); v != 3e-6 {
+		t.Errorf("3u = %g", v)
+	}
+	if v, _ := parseTime("2m"); v != 2e-3 {
+		t.Errorf("2m = %g", v)
+	}
+	if v, _ := parseBytes("2Ki"); v != 2048 {
+		t.Errorf("2Ki = %d", v)
+	}
+	if v, _ := parseBytes("1Gi"); v != 1<<30 {
+		t.Errorf("1Gi = %d", v)
+	}
+}

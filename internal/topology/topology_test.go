@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineShapes(t *testing.T) {
+	cases := []struct {
+		m       *Machine
+		cores   int
+		domains int
+		groups  int
+	}{
+		{Zoot(), 16, 1, 8},
+		{Dancer(), 8, 2, 2},
+		{Saturn(), 16, 2, 2},
+		{IG(), 48, 8, 8},
+	}
+	for _, c := range cases {
+		if got := c.m.NCores(); got != c.cores {
+			t.Errorf("%s: cores = %d, want %d", c.m.Name, got, c.cores)
+		}
+		if got := len(c.m.Domains); got != c.domains {
+			t.Errorf("%s: domains = %d, want %d", c.m.Name, got, c.domains)
+		}
+		if got := len(c.m.Groups); got != c.groups {
+			t.Errorf("%s: groups = %d, want %d", c.m.Name, got, c.groups)
+		}
+	}
+}
+
+func TestEveryCoreHasEngineDomainGroup(t *testing.T) {
+	for name, m := range Machines() {
+		for _, c := range m.Cores {
+			if c.Engine == nil || c.Engine.BW != m.Spec.CoreCopyBW {
+				t.Errorf("%s core %d: bad engine", name, c.ID)
+			}
+			if c.Domain == nil || c.Group == nil {
+				t.Errorf("%s core %d: nil domain/group", name, c.ID)
+			}
+		}
+	}
+}
+
+func TestLinkIndicesDense(t *testing.T) {
+	for name, m := range Machines() {
+		for i, l := range m.Links {
+			if l.Index != i {
+				t.Errorf("%s: link %d has index %d", name, i, l.Index)
+			}
+			if l.BW <= 0 {
+				t.Errorf("%s: link %s has bw %g", name, l.Name, l.BW)
+			}
+		}
+	}
+}
+
+func TestDistanceSymmetryAndTriangle(t *testing.T) {
+	for name, m := range Machines() {
+		for _, a := range m.Domains {
+			if m.DomainDistance(a, a) != 0 {
+				t.Errorf("%s: self distance nonzero", name)
+			}
+			for _, b := range m.Domains {
+				if m.DomainDistance(a, b) != m.DomainDistance(b, a) {
+					t.Errorf("%s: asymmetric distance %d<->%d", name, a.ID, b.ID)
+				}
+				for _, c := range m.Domains {
+					if m.DomainDistance(a, c) > m.DomainDistance(a, b)+m.DomainDistance(b, c) {
+						t.Errorf("%s: triangle inequality violated", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathEndsAtBus(t *testing.T) {
+	for name, m := range Machines() {
+		for _, c := range m.Cores {
+			for _, d := range m.Domains {
+				p := m.PathToDomain(c, d)
+				if len(p) == 0 || p[len(p)-1] != d.Bus {
+					t.Fatalf("%s: path core %d -> dom %d does not end at bus", name, c.ID, d.ID)
+				}
+				// Local access goes straight to the bus on NUMA machines.
+				if c.Domain == d && c.Vertex == d.Vertex && len(p) != 1 {
+					t.Errorf("%s: local path has %d links", name, len(p))
+				}
+			}
+		}
+	}
+}
+
+func TestIGHierarchy(t *testing.T) {
+	m := IG()
+	// Same board: 1 hop. Cross board: >= 2 hops except the bridge pair.
+	if d := m.DomainDistance(m.Domains[1], m.Domains[2]); d != 1 {
+		t.Errorf("intra-board distance = %d, want 1", d)
+	}
+	if d := m.DomainDistance(m.Domains[0], m.Domains[4]); d != 1 {
+		t.Errorf("bridge distance = %d, want 1", d)
+	}
+	if d := m.DomainDistance(m.Domains[1], m.Domains[5]); d != 1 {
+		t.Errorf("bridge-pair distance = %d, want 1", d)
+	}
+	if d := m.DomainDistance(m.Domains[1], m.Domains[7]); d != 2 {
+		t.Errorf("cross-board non-bridge distance = %d, want 2", d)
+	}
+	if m.MaxDomainDistance() != 2 {
+		t.Errorf("max domain distance = %d, want 2", m.MaxDomainDistance())
+	}
+	// Cross-board paths traverse the interboard link.
+	p := m.PathToDomain(m.Domains[7].Cores[0], m.Domains[2])
+	found := false
+	for _, l := range p {
+		if l.Name == "interboard" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cross-board path does not use interboard link")
+	}
+}
+
+func TestFlatMachinesHaveNoHierarchy(t *testing.T) {
+	for _, m := range []*Machine{Zoot(), Dancer(), Saturn()} {
+		if m.MaxDomainDistance() > 1 {
+			t.Errorf("%s: max domain distance %d", m.Name, m.MaxDomainDistance())
+		}
+	}
+}
+
+func TestZootSingleBus(t *testing.T) {
+	m := Zoot()
+	bus := m.Domains[0].Bus
+	for _, c := range m.Cores {
+		p := m.PathToDomain(c, m.Domains[0])
+		if p[len(p)-1] != bus {
+			t.Fatal("not ending at the shared bus")
+		}
+		if len(p) != 2 {
+			t.Fatalf("Zoot path length = %d, want 2 (fsb+bus)", len(p))
+		}
+	}
+}
+
+func TestSyntheticProperty(t *testing.T) {
+	f := func(bs, ss, cs uint8) bool {
+		boards := int(bs%3) + 1
+		socks := int(ss%4) + 1
+		cores := int(cs%6) + 1
+		m := Synthetic(SyntheticSpec{
+			Boards: boards, SocketsPerBoard: socks, CoresPerSocket: cores,
+			BusBW: 1e9, LinkBW: 1e9, BoardLinkBW: 1e9,
+			CacheSize: 1 << 20, CachePortBW: 1e9,
+			Spec: Spec{CoreCopyBW: 1e9, KernelTrap: 1e-7, CtrlLatency: 1e-7, Flops: 1e9},
+		})
+		if m.NCores() != boards*socks*cores {
+			return false
+		}
+		if len(m.Domains) != boards*socks {
+			return false
+		}
+		// All domains mutually reachable with symmetric distances.
+		for _, a := range m.Domains {
+			for _, b := range m.Domains {
+				if m.DomainDistance(a, b) != m.DomainDistance(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"Zoot", "Dancer", "Saturn", "IG", "ig", "zoot"} {
+		if ByName(n) == nil {
+			t.Errorf("ByName(%q) = nil", n)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+}
+
+func TestMinBW(t *testing.T) {
+	m := IG()
+	p := m.PathToDomain(m.Domains[7].Cores[0], m.Domains[2])
+	if MinBW(p) != 5.0*1e9 {
+		t.Errorf("MinBW = %g, want 5e9", MinBW(p))
+	}
+}
+
+func TestMappings(t *testing.T) {
+	m := IG()
+	packed := m.PackedMapping(12)
+	for i, c := range packed {
+		if c != i {
+			t.Fatalf("packed[%d] = %d", i, c)
+		}
+	}
+	sc := m.ScatterMapping(12)
+	seen := map[int]bool{}
+	domCount := map[int]int{}
+	for _, c := range sc {
+		if seen[c] {
+			t.Fatalf("scatter mapping reuses core %d", c)
+		}
+		seen[c] = true
+		domCount[m.Cores[c].Domain.ID]++
+	}
+	for d := 0; d < 8; d++ {
+		if domCount[d] == 0 {
+			t.Fatalf("scatter mapping leaves domain %d empty", d)
+		}
+	}
+	// Oversubscribed scatter falls back without duplicates.
+	all := m.ScatterMapping(48)
+	seen = map[int]bool{}
+	for _, c := range all {
+		if seen[c] {
+			t.Fatalf("full scatter mapping reuses core %d", c)
+		}
+		seen[c] = true
+	}
+	if len(all) != 48 {
+		t.Fatalf("full mapping has %d cores", len(all))
+	}
+}

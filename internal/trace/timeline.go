@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one traced activity on a lane (a core, a DMA engine, a rank).
+type Span struct {
+	Lane   string
+	Kind   string
+	Start  float64
+	End    float64
+	Detail string
+}
+
+// Timeline collects spans from the simulator when enabled; the zero value
+// is a disabled timeline that costs one nil check per event.
+type Timeline struct {
+	Spans []Span
+}
+
+// Add records a span. Nil receivers are silently ignored so call sites can
+// hold an optional *Timeline.
+func (tl *Timeline) Add(lane, kind string, start, end float64, detail string) {
+	if tl == nil {
+		return
+	}
+	tl.Spans = append(tl.Spans, Span{Lane: lane, Kind: kind, Start: start, End: end, Detail: detail})
+}
+
+// Lanes returns the lane names, sorted.
+func (tl *Timeline) Lanes() []string {
+	seen := map[string]bool{}
+	for _, s := range tl.Spans {
+		seen[s.Lane] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Window returns the earliest start and latest end across all spans.
+func (tl *Timeline) Window() (float64, float64) {
+	if len(tl.Spans) == 0 {
+		return 0, 0
+	}
+	lo, hi := tl.Spans[0].Start, tl.Spans[0].End
+	for _, s := range tl.Spans {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return lo, hi
+}
+
+// Utilization returns the busy fraction of a lane over the timeline's
+// window (overlapping spans on one lane count once).
+func (tl *Timeline) Utilization(lane string) float64 {
+	lo, hi := tl.Window()
+	if hi <= lo {
+		return 0
+	}
+	type iv struct{ a, b float64 }
+	var ivs []iv
+	for _, s := range tl.Spans {
+		if s.Lane == lane {
+			ivs = append(ivs, iv{s.Start, s.End})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	busy, end := 0.0, lo
+	for _, v := range ivs {
+		a := v.a
+		if a < end {
+			a = end
+		}
+		if v.b > a {
+			busy += v.b - a
+			end = v.b
+		}
+	}
+	return busy / (hi - lo)
+}
+
+// Gantt renders the timeline as a per-lane text chart with the given
+// number of time buckets. Bucket shading reflects the busy fraction.
+func (tl *Timeline) Gantt(w io.Writer, buckets int) {
+	lo, hi := tl.Window()
+	if hi <= lo || buckets < 1 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+	width := (hi - lo) / float64(buckets)
+	fmt.Fprintf(w, "timeline %.1fus..%.1fus, bucket %.2fus\n", lo*1e6, hi*1e6, width*1e6)
+	for _, lane := range tl.Lanes() {
+		busy := make([]float64, buckets)
+		for _, s := range tl.Spans {
+			if s.Lane != lane {
+				continue
+			}
+			b0 := int((s.Start - lo) / width)
+			b1 := int((s.End - lo) / width)
+			for b := b0; b <= b1 && b < buckets; b++ {
+				bs, be := lo+float64(b)*width, lo+float64(b+1)*width
+				a, z := s.Start, s.End
+				if a < bs {
+					a = bs
+				}
+				if z > be {
+					z = be
+				}
+				if z > a {
+					busy[b] += (z - a) / width
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-8s|", lane)
+		for _, f := range busy {
+			switch {
+			case f > 0.75:
+				fmt.Fprint(w, "#")
+			case f > 0.5:
+				fmt.Fprint(w, "=")
+			case f > 0.25:
+				fmt.Fprint(w, "-")
+			case f > 0:
+				fmt.Fprint(w, ".")
+			default:
+				fmt.Fprint(w, " ")
+			}
+		}
+		fmt.Fprintf(w, "| %4.0f%%\n", 100*tl.Utilization(lane))
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Add("x", "copy", 0, 1, "") // must not panic
+}
+
+func TestWindowAndLanes(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add("b", "copy", 2, 5, "")
+	tl.Add("a", "copy", 1, 3, "")
+	lo, hi := tl.Window()
+	if lo != 1 || hi != 5 {
+		t.Fatalf("window = [%g,%g]", lo, hi)
+	}
+	lanes := tl.Lanes()
+	if len(lanes) != 2 || lanes[0] != "a" || lanes[1] != "b" {
+		t.Fatalf("lanes = %v", lanes)
+	}
+}
+
+func TestUtilizationMergesOverlaps(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add("a", "copy", 0, 4, "")
+	tl.Add("a", "copy", 2, 6, "") // overlaps: union busy = [0,6]
+	tl.Add("b", "copy", 0, 10, "")
+	if u := tl.Utilization("a"); u < 0.59 || u > 0.61 {
+		t.Fatalf("a utilization = %g, want 0.6", u)
+	}
+	if u := tl.Utilization("b"); u != 1.0 {
+		t.Fatalf("b utilization = %g, want 1", u)
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add("core0", "copy", 0, 1e-3, "1MB")
+	tl.Add("core1", "copy", 0.5e-3, 1e-3, "0.5MB")
+	var sb strings.Builder
+	tl.Gantt(&sb, 10)
+	out := sb.String()
+	if !strings.Contains(out, "core0") || !strings.Contains(out, "core1") {
+		t.Fatalf("gantt missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "50%") {
+		t.Fatalf("gantt utilization wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// core0 busy everywhere, core1 only in the second half.
+	c0, c1 := lines[1], lines[2]
+	if strings.Count(c0, "#") != 10 {
+		t.Fatalf("core0 row: %q", c0)
+	}
+	if strings.Count(c1, "#") != 5 {
+		t.Fatalf("core1 row: %q", c1)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	tl := &Timeline{}
+	var sb strings.Builder
+	tl.Gantt(&sb, 10)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty timeline not reported")
+	}
+}
+
+func TestStatsResetAndString(t *testing.T) {
+	s := &Stats{}
+	s.AddLinkBytes("qpi", 100)
+	s.Copies = 3
+	if !strings.Contains(s.String(), "qpi=100") {
+		t.Fatalf("string: %s", s.String())
+	}
+	s.Reset()
+	if s.Copies != 0 || len(s.LinkBytes) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,55 @@
+// Package trace collects counters from the simulated memory system and
+// communication layers: copies, bytes per link, cache hits, kernel traps,
+// KNEM region registrations. Tests use them to assert structural properties
+// (e.g. a KNEM broadcast performs exactly one registration and N-1 copies);
+// the benchmark harness reports them alongside timings.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats accumulates counters. The zero value is ready to use. Stats is not
+// safe for concurrent use; the simulator is single-threaded in effect, so
+// no locking is needed.
+type Stats struct {
+	Copies        int64 // memory transfers started
+	BytesCopied   int64 // payload bytes moved
+	CacheHits     int64 // transfers whose read side was served by a cache
+	CacheMisses   int64 // transfers whose read side went to DRAM
+	KernelTraps   int64 // simulated ioctl/syscall entries
+	Registrations int64 // KNEM region creations
+	CtrlMsgs      int64 // out-of-band control messages
+	LinkBytes     map[string]int64
+}
+
+// AddLinkBytes accounts payload bytes crossing the named link.
+func (s *Stats) AddLinkBytes(name string, n int64) {
+	if s.LinkBytes == nil {
+		s.LinkBytes = make(map[string]int64)
+	}
+	s.LinkBytes[name] += n
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// String renders the counters compactly, links sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "copies=%d bytes=%d cacheHits=%d cacheMisses=%d traps=%d regs=%d ctrl=%d",
+		s.Copies, s.BytesCopied, s.CacheHits, s.CacheMisses, s.KernelTraps, s.Registrations, s.CtrlMsgs)
+	if len(s.LinkBytes) > 0 {
+		names := make([]string, 0, len(s.LinkBytes))
+		for n := range s.LinkBytes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, s.LinkBytes[n])
+		}
+	}
+	return b.String()
+}
