@@ -1,15 +1,26 @@
 GO ?= go
 
-.PHONY: all test vet bench figures table1 results clean
+.PHONY: all check test test-race vet fuzz-short bench figures table1 results clean
 
 all: test vet
+
+check: test vet test-race fuzz-short
 
 test:
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
 	gofmt -l .
+
+# A short deterministic-ish shake of every fuzz target; run the targets
+# individually with a longer -fuzztime to dig.
+fuzz-short:
+	$(GO) test -run=NONE -fuzz=FuzzVectorRegion -fuzztime=10s ./internal/knem
+	$(GO) test -run=NONE -fuzz=FuzzParseMachine -fuzztime=10s ./internal/topology
 
 bench:
 	GOMAXPROCS=1 $(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/topology"
 )
 
@@ -33,8 +34,16 @@ func main() {
 	iters := flag.Int("iters", 3, "measured iterations per point")
 	asJSON := flag.Bool("json", false, "emit figures as JSON instead of tables")
 	comps := flag.String("comps", "", "comma-separated components for ad-hoc sweeps (default: the paper's five); options: Tuned-SM, Tuned-KNEM, MPICH2-SM, MPICH2-KNEM, KNEM-Coll, Basic-SM, SM-Coll")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for probabilistic fault draws (reproducible schedules)")
+	faultCreate := flag.Int("fault-create-every", 0, "fail every Nth KNEM region registration with ENOMEM")
+	faultPin := flag.Int64("fault-pin-budget", 0, "pinned-page budget; registrations beyond it fail")
+	faultInval := flag.Int("fault-invalidate-every", 0, "invalidate every Nth live region cookie mid-collective")
+	faultCopyTr := flag.Float64("fault-copy-transient", 0, "probability a kernel copy fails transiently (EAGAIN)")
+	faultStrag := flag.String("fault-straggler", "", "comma-separated rank:delay stragglers (e.g. 3:2e-3)")
+	faultLink := flag.String("fault-link", "", "comma-separated link:scale degradations (e.g. bus0:0.5)")
 	flag.Parse()
 	jsonOut = *asJSON
+	plan := buildPlan(*faultSeed, *faultCreate, *faultPin, *faultInval, *faultCopyTr, *faultStrag, *faultLink)
 
 	switch {
 	case *ablation:
@@ -44,11 +53,72 @@ func main() {
 	case *fig != "":
 		runFigures(*fig, *iters)
 	case *op != "":
-		runSweep(*op, *machine, *np, *sizes, *iters, *comps)
+		runSweep(*op, *machine, *np, *sizes, *iters, *comps, plan)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// buildPlan assembles a fault.Plan from the -fault-* flags; nil when none
+// is set, so fault-free runs take the zero-overhead path.
+func buildPlan(seed int64, createEvery int, pinBudget int64, invalEvery int, copyTr float64, strag, link string) *fault.Plan {
+	p := &fault.Plan{
+		Seed:             seed,
+		CreateFailEvery:  createEvery,
+		PinnedPageBudget: pinBudget,
+		InvalidateEvery:  invalEvery,
+		CopyTransient:    copyTr,
+	}
+	for _, kv := range splitNonEmpty(strag) {
+		rank, delay := parsePair(kv, "straggler")
+		if p.Straggler == nil {
+			p.Straggler = map[int]float64{}
+		}
+		p.Straggler[int(rank)] = delay
+	}
+	for _, kv := range splitNonEmpty(link) {
+		i := strings.LastIndex(kv, ":")
+		if i < 0 {
+			fmt.Fprintf(os.Stderr, "imb: bad -fault-link entry %q (want name:scale)\n", kv)
+			os.Exit(2)
+		}
+		scale, err := strconv.ParseFloat(kv[i+1:], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imb: bad -fault-link scale %q\n", kv[i+1:])
+			os.Exit(2)
+		}
+		if p.LinkSlowdown == nil {
+			p.LinkSlowdown = map[string]float64{}
+		}
+		p.LinkSlowdown[kv[:i]] = scale
+	}
+	if p.Empty() {
+		return nil
+	}
+	return p
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func parsePair(kv, what string) (int64, float64) {
+	i := strings.Index(kv, ":")
+	if i < 0 {
+		fmt.Fprintf(os.Stderr, "imb: bad -fault-%s entry %q (want key:value)\n", what, kv)
+		os.Exit(2)
+	}
+	k, err1 := strconv.ParseInt(kv[:i], 10, 64)
+	v, err2 := strconv.ParseFloat(kv[i+1:], 64)
+	if err1 != nil || err2 != nil {
+		fmt.Fprintf(os.Stderr, "imb: bad -fault-%s entry %q\n", what, kv)
+		os.Exit(2)
+	}
+	return k, v
 }
 
 func runFigures(which string, iters int) {
@@ -84,7 +154,7 @@ func runFigures(which string, iters int) {
 	emit(f(iters))
 }
 
-func runSweep(op, machine string, np int, sizeList string, iters int, compList string) {
+func runSweep(op, machine string, np int, sizeList string, iters int, compList string, plan *fault.Plan) {
 	m, err := topology.LoadMachine(machine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imb:", err)
@@ -111,9 +181,12 @@ func runSweep(op, machine string, np int, sizeList string, iters int, compList s
 		for _, sz := range szs {
 			res := bench.MustMeasure(bench.Config{
 				Machine: m, NP: np, Comp: c, Op: bench.Op(op), Size: sz,
-				Iters: iters, OffCache: true,
+				Iters: iters, OffCache: true, Fault: plan,
 			})
 			s.Seconds[sz] = res.Seconds
+			if plan != nil {
+				fmt.Printf("# %s %s size=%d: %s\n", c.Name, op, sz, res.Stats.String())
+			}
 		}
 		panel.Series = append(panel.Series, s)
 	}

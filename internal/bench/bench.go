@@ -13,6 +13,7 @@ import (
 	"repro/internal/coll/smcoll"
 	"repro/internal/coll/tuned"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/memsim"
 	"repro/internal/mpi"
 	"repro/internal/shm"
@@ -103,6 +104,9 @@ type Config struct {
 	OffCache bool
 	// Root for rooted operations (default 0).
 	Root int
+	// Fault optionally injects a deterministic fault schedule into the
+	// run (see internal/fault); counters land in Result.Stats.
+	Fault *fault.Plan
 }
 
 // shmConfig uses 128 KiB fragments for throughput benchmarks: large
@@ -137,6 +141,7 @@ func Measure(cfg Config) (Result, error) {
 		SHM:     shmConfig(),
 		Coll:    cfg.Comp.New,
 		Stats:   stats,
+		Fault:   cfg.Fault,
 	}, func(r *mpi.Rank) {
 		bufs := prepare(r, cfg)
 		var total float64

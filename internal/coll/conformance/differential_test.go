@@ -1,0 +1,233 @@
+// Differential conformance: seeded randomized scenarios (operation, block
+// size, root, uneven counts, machine) executed by every component and
+// compared bit-for-bit against the basic reference — with and without
+// fault plans. A component may degrade however it likes under faults; the
+// bytes it delivers may not differ by a single bit.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+type scenario struct {
+	op     string
+	e      env
+	blk    int64
+	root   int
+	counts []int64 // allgatherv only
+	displs []int64
+	total  int64
+}
+
+func (s scenario) String() string {
+	return fmt.Sprintf("%s/%s/blk=%d/root=%d", s.op, s.e.name, s.blk, s.root)
+}
+
+var diffOps = []string{"bcast", "scatter", "gather", "allgather", "alltoall", "allgatherv"}
+
+func genScenario(rng *rand.Rand) scenario {
+	es := envs()
+	s := scenario{
+		op:  diffOps[rng.Intn(len(diffOps))],
+		e:   es[rng.Intn(len(es))],
+		blk: 1<<10 + rng.Int63n(80<<10),
+	}
+	s.root = rng.Intn(s.e.np)
+	if s.op == "allgatherv" {
+		s.counts = make([]int64, s.e.np)
+		s.displs = make([]int64, s.e.np)
+		for i := range s.counts {
+			s.counts[i] = rng.Int63n(40<<10) + 1
+			s.displs[i] = s.total
+			s.total += s.counts[i]
+		}
+	}
+	return s
+}
+
+// execute runs the scenario on one component under an optional fault plan
+// and returns each rank's delivered bytes (nil for ranks that receive
+// nothing, e.g. non-roots of a Gather).
+func (s scenario) execute(t *testing.T, f factory, plan *fault.Plan) ([][]byte, *mpi.World) {
+	t.Helper()
+	out := make([][]byte, s.e.np)
+	_, w, err := mpi.Run(mpi.Options{
+		Machine: s.e.mach, NP: s.e.np, BTL: f.btl, Coll: f.make,
+		WithData: true, Fault: plan,
+	}, func(r *mpi.Rank) {
+		p := int64(s.e.np)
+		me := r.ID()
+		deposit := func(b *memsim.Buffer) {
+			out[me] = append([]byte(nil), b.Data...)
+		}
+		switch s.op {
+		case "bcast":
+			b := r.Alloc(s.blk)
+			if me == s.root {
+				fillPat(b, s.root)
+			}
+			r.Bcast(b.Whole(), s.root)
+			deposit(b)
+		case "scatter":
+			var send memsim.View
+			if me == s.root {
+				sb := r.Alloc(p * s.blk)
+				for i := range sb.Data {
+					sb.Data[i] = pat(int(int64(i)/s.blk), int64(i)%s.blk)
+				}
+				send = sb.Whole()
+			}
+			recv := r.Alloc(s.blk)
+			r.Scatter(send, recv.Whole(), s.root)
+			deposit(recv)
+		case "gather":
+			send := r.Alloc(s.blk)
+			fillPat(send, me)
+			if me == s.root {
+				rb := r.Alloc(p * s.blk)
+				r.Gather(send.Whole(), rb.Whole(), s.root)
+				deposit(rb)
+			} else {
+				r.Gather(send.Whole(), memsim.View{}, s.root)
+			}
+		case "allgather":
+			send := r.Alloc(s.blk)
+			fillPat(send, me)
+			recv := r.Alloc(p * s.blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			deposit(recv)
+		case "alltoall":
+			send := r.Alloc(p * s.blk)
+			for j := 0; j < s.e.np; j++ {
+				for i := int64(0); i < s.blk; i++ {
+					send.Data[int64(j)*s.blk+i] = pat(me*100+j, i)
+				}
+			}
+			recv := r.Alloc(p * s.blk)
+			r.Alltoall(send.Whole(), recv.Whole())
+			deposit(recv)
+		case "allgatherv":
+			send := r.Alloc(s.counts[me])
+			fillPat(send, me)
+			recv := r.Alloc(s.total)
+			r.Allgatherv(send.Whole(), recv.Whole(), s.counts, s.displs)
+			deposit(recv)
+		}
+	})
+	if err != nil {
+		t.Fatalf("%s on %s: %v", s, f.name, err)
+	}
+	return out, w
+}
+
+// diffPlans are the fault schedules every component must survive while
+// staying bit-for-bit equal to the fault-free reference.
+func diffPlans() []struct {
+	name string
+	plan *fault.Plan
+} {
+	return []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"no-faults", nil},
+		{"create-fail", &fault.Plan{CreateFailEvery: 2}},
+		{"invalidate-transient", &fault.Plan{
+			Seed: 99, InvalidateEvery: 3, CopyTransient: 0.25, MaxRetries: 3,
+		}},
+	}
+}
+
+func TestDifferentialConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 5; trial++ {
+		sc := genScenario(rng)
+		ref, _ := sc.execute(t, factory{"basic-sm", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return components()[0].make(w)
+		}}, nil)
+		t.Run(sc.String(), func(t *testing.T) {
+			for _, f := range components() {
+				for _, pl := range diffPlans() {
+					f, pl := f, pl
+					t.Run(f.name+"/"+pl.name, func(t *testing.T) {
+						got, w := sc.execute(t, f, pl.plan)
+						for rank := range ref {
+							if !bytes.Equal(got[rank], ref[rank]) {
+								t.Fatalf("rank %d: output differs from basic reference", rank)
+							}
+						}
+						if w.Knem().ActiveRegions() != 0 {
+							t.Fatalf("%d KNEM regions leaked", w.Knem().ActiveRegions())
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// Property: under ANY randomized fault schedule, KNEM-Coll finishes every
+// operation with data identical to the fault-free reference, leaks no
+// regions, and replays deterministically under the same seed.
+func TestFaultScheduleProperty(t *testing.T) {
+	variants := []factory{
+		{"knemcoll", mpi.BTLSM, core.New},
+		{"knemcoll-linear", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear})
+		}},
+		{"knemcoll-hier", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeHierarchical})
+		}},
+		{"knemcoll-ml", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeMultiLevel})
+		}},
+		{"knemcoll-ring", mpi.BTLSM, func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{RingAllgather: true})
+		}},
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 8; trial++ {
+		sc := genScenario(rng)
+		plan := &fault.Plan{
+			Seed:            rng.Int63(),
+			CreateFailEvery: rng.Intn(4),
+			InvalidateEvery: rng.Intn(5),
+			CreateTransient: float64(rng.Intn(3)) * 0.1,
+			CopyTransient:   float64(rng.Intn(3)) * 0.1,
+			MaxRetries:      1 + rng.Intn(4),
+		}
+		if rng.Intn(3) == 0 {
+			plan.PinnedPageBudget = 32 + rng.Int63n(512)
+		}
+		f := variants[trial%len(variants)]
+		t.Run(fmt.Sprintf("%s/%s", f.name, sc), func(t *testing.T) {
+			ref, _ := sc.execute(t, factory{"ref", mpi.BTLSM, components()[0].make}, nil)
+			got1, w1 := sc.execute(t, f, plan)
+			for rank := range ref {
+				if !bytes.Equal(got1[rank], ref[rank]) {
+					t.Fatalf("rank %d: faulted run differs from fault-free reference", rank)
+				}
+			}
+			if w1.Knem().ActiveRegions() != 0 {
+				t.Fatalf("%d regions leaked", w1.Knem().ActiveRegions())
+			}
+			got2, w2 := sc.execute(t, f, plan)
+			for rank := range got1 {
+				if !bytes.Equal(got1[rank], got2[rank]) {
+					t.Fatalf("rank %d: same seed, different bytes", rank)
+				}
+			}
+			if w1.Stats().String() != w2.Stats().String() {
+				t.Fatalf("same seed, different stats:\n%s\nvs\n%s", w1.Stats(), w2.Stats())
+			}
+		})
+	}
+}

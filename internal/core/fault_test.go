@@ -1,0 +1,451 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func runFault(t *testing.T, mach *topology.Machine, np int, cfg Config, plan *fault.Plan, body func(r *mpi.Rank)) *mpi.World {
+	t.Helper()
+	_, w, err := mpi.Run(mpi.Options{
+		Machine: mach, NP: np, BTL: mpi.BTLSM, WithData: true, Fault: plan,
+		Coll: func(w *mpi.World) mpi.Coll { return NewWithConfig(w, cfg) },
+	}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func fpat(rank int, i int64) byte { return byte(int64(rank*131) + i*7 + 3) }
+
+// Failing every second registration must produce exactly counted faults and
+// fallbacks, with every broadcast still delivering the right bytes — the
+// acceptance scenario of the fault-injection work.
+func TestCreateFaultExactCounters(t *testing.T) {
+	const iters, size = 4, 64 << 10
+	w := runFault(t, topology.Dancer(), 8,
+		Config{Mode: ModeLinear},
+		&fault.Plan{CreateFailEvery: 2},
+		func(r *mpi.Rank) {
+			for it := 0; it < iters; it++ {
+				b := r.Alloc(size)
+				if r.ID() == 0 {
+					for i := range b.Data {
+						b.Data[i] = fpat(it, int64(i))
+					}
+				}
+				r.Bcast(b.Whole(), 0)
+				for i := int64(0); i < size; i += 313 {
+					if b.Data[i] != fpat(it, i) {
+						t.Errorf("iter %d rank %d: byte %d = %d, want %d", it, r.ID(), i, b.Data[i], fpat(it, i))
+						return
+					}
+				}
+			}
+		})
+	s := w.Stats()
+	// 4 broadcasts = 4 registration attempts, every second one fails: the
+	// 2 failures each degrade one whole operation to the fallback.
+	if s.CreateFaults != 2 || s.FaultsInjected != 2 || s.Fallbacks != 2 {
+		t.Errorf("createFaults=%d faultsInjected=%d fallbacks=%d, want 2/2/2",
+			s.CreateFaults, s.FaultsInjected, s.Fallbacks)
+	}
+	if s.Registrations != 2 {
+		t.Errorf("registrations = %d, want 2 (the surviving creates)", s.Registrations)
+	}
+	if w.Knem().ActiveRegions() != 0 {
+		t.Errorf("%d regions leaked", w.Knem().ActiveRegions())
+	}
+}
+
+// Every specialized collective must survive registration failures with
+// correct payloads, and each injected create fault must show up as exactly
+// one fallback.
+func TestAllCollectivesDegradeOnCreateFaults(t *testing.T) {
+	const np = 8
+	const blk = 40 << 10
+	plan := &fault.Plan{CreateFailEvery: 2}
+	type op struct {
+		name string
+		cfg  Config
+		body func(t *testing.T, r *mpi.Rank)
+	}
+	ops := []op{
+		{"bcast", Config{Mode: ModeLinear}, func(t *testing.T, r *mpi.Rank) {
+			b := r.Alloc(blk)
+			if r.ID() == 2 {
+				for i := range b.Data {
+					b.Data[i] = fpat(2, int64(i))
+				}
+			}
+			r.Bcast(b.Whole(), 2)
+			for i := int64(0); i < blk; i += 257 {
+				if b.Data[i] != fpat(2, i) {
+					t.Errorf("bcast rank %d byte %d wrong", r.ID(), i)
+					return
+				}
+			}
+		}},
+		{"scatter", Config{}, func(t *testing.T, r *mpi.Rank) {
+			var send memsim.View
+			if r.ID() == 1 {
+				sb := r.Alloc(np * blk)
+				for i := range sb.Data {
+					sb.Data[i] = fpat(int(int64(i)/blk), int64(i)%blk)
+				}
+				send = sb.Whole()
+			}
+			recv := r.Alloc(blk)
+			r.Scatter(send, recv.Whole(), 1)
+			for i := int64(0); i < blk; i += 251 {
+				if recv.Data[i] != fpat(r.ID(), i) {
+					t.Errorf("scatter rank %d byte %d wrong", r.ID(), i)
+					return
+				}
+			}
+		}},
+		{"gather", Config{}, func(t *testing.T, r *mpi.Rank) {
+			send := r.Alloc(blk)
+			for i := range send.Data {
+				send.Data[i] = fpat(r.ID(), int64(i))
+			}
+			var recv memsim.View
+			var rb *memsim.Buffer
+			if r.ID() == np-1 {
+				rb = r.Alloc(np * blk)
+				recv = rb.Whole()
+			}
+			r.Gather(send.Whole(), recv, np-1)
+			if rb != nil {
+				for src := 0; src < np; src++ {
+					for i := int64(0); i < blk; i += 509 {
+						if rb.Data[int64(src)*blk+i] != fpat(src, i) {
+							t.Errorf("gather block %d byte %d wrong", src, i)
+							return
+						}
+					}
+				}
+			}
+		}},
+		{"allgather", Config{}, func(t *testing.T, r *mpi.Rank) {
+			send := r.Alloc(blk)
+			for i := range send.Data {
+				send.Data[i] = fpat(r.ID(), int64(i))
+			}
+			recv := r.Alloc(np * blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			for src := 0; src < np; src++ {
+				for i := int64(0); i < blk; i += 503 {
+					if recv.Data[int64(src)*blk+i] != fpat(src, i) {
+						t.Errorf("allgather block %d wrong at rank %d", src, r.ID())
+						return
+					}
+				}
+			}
+		}},
+		{"allgather-ring", Config{RingAllgather: true}, func(t *testing.T, r *mpi.Rank) {
+			send := r.Alloc(blk)
+			for i := range send.Data {
+				send.Data[i] = fpat(r.ID(), int64(i))
+			}
+			recv := r.Alloc(np * blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			for src := 0; src < np; src++ {
+				for i := int64(0); i < blk; i += 499 {
+					if recv.Data[int64(src)*blk+i] != fpat(src, i) {
+						t.Errorf("ring block %d wrong at rank %d", src, r.ID())
+						return
+					}
+				}
+			}
+		}},
+		{"alltoall", Config{}, func(t *testing.T, r *mpi.Rank) {
+			send := r.Alloc(np * blk)
+			for j := 0; j < np; j++ {
+				for i := int64(0); i < blk; i++ {
+					send.Data[int64(j)*blk+i] = fpat(r.ID()*100+j, i)
+				}
+			}
+			recv := r.Alloc(np * blk)
+			r.Alltoall(send.Whole(), recv.Whole())
+			for src := 0; src < np; src++ {
+				for i := int64(0); i < blk; i += 241 {
+					if recv.Data[int64(src)*blk+i] != fpat(src*100+r.ID(), i) {
+						t.Errorf("alltoall block from %d wrong at rank %d", src, r.ID())
+						return
+					}
+				}
+			}
+		}},
+	}
+	for _, o := range ops {
+		o := o
+		t.Run(o.name, func(t *testing.T) {
+			w := runFault(t, topology.Dancer(), np, o.cfg, plan, func(r *mpi.Rank) {
+				for it := 0; it < 3; it++ {
+					o.body(t, r)
+					r.Barrier()
+				}
+			})
+			s := w.Stats()
+			if s.CreateFaults == 0 {
+				t.Error("plan injected no create faults")
+			}
+			// With BTLSM, every registration attempt comes from the
+			// component, and each failure degrades exactly one operation.
+			if s.Fallbacks != s.CreateFaults {
+				t.Errorf("fallbacks=%d createFaults=%d, want equal", s.Fallbacks, s.CreateFaults)
+			}
+			if s.FaultsInjected != s.CreateFaults {
+				t.Errorf("faultsInjected=%d createFaults=%d, want equal", s.FaultsInjected, s.CreateFaults)
+			}
+			if w.Knem().ActiveRegions() != 0 {
+				t.Errorf("%d regions leaked", w.Knem().ActiveRegions())
+			}
+		})
+	}
+}
+
+// Mid-collective cookie invalidation must be healed by point-to-point
+// resends across all broadcast topologies and the ring.
+func TestInvalidationRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		mach *topology.Machine
+		np   int
+		cfg  Config
+	}{
+		{"linear", topology.Dancer(), 8, Config{Mode: ModeLinear}},
+		{"hierarchical", topology.Dancer(), 8, Config{Mode: ModeHierarchical, FixedSeg: 16 << 10}},
+		{"multilevel", topology.IG(), 12, Config{Mode: ModeMultiLevel, FixedSeg: 16 << 10}},
+	}
+	const iters, size = 3, 96 << 10
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			plan := &fault.Plan{InvalidateEvery: 3, CreateFailEvery: 7}
+			w := runFault(t, c.mach, c.np, c.cfg, plan, func(r *mpi.Rank) {
+				for it := 0; it < iters; it++ {
+					root := it % c.np
+					b := r.Alloc(size)
+					if r.ID() == root {
+						for i := range b.Data {
+							b.Data[i] = fpat(it, int64(i))
+						}
+					}
+					r.Bcast(b.Whole(), root)
+					for i := int64(0); i < size; i += 317 {
+						if b.Data[i] != fpat(it, i) {
+							t.Errorf("iter %d rank %d byte %d wrong", it, r.ID(), i)
+							return
+						}
+					}
+				}
+			})
+			s := w.Stats()
+			if s.Invalidations == 0 {
+				t.Error("plan invalidated no cookies")
+			}
+			if s.Resends == 0 {
+				t.Error("invalidations healed without resends")
+			}
+			if w.Knem().ActiveRegions() != 0 {
+				t.Errorf("%d regions leaked", w.Knem().ActiveRegions())
+			}
+		})
+	}
+}
+
+// The ring allgather must stay deadlock-free when regions vanish or never
+// register: every rank both requests resends and services its neighbor's.
+func TestRingAllgatherFaultRecovery(t *testing.T) {
+	const np, blk, iters = 8, 32 << 10, 3
+	plan := &fault.Plan{CreateFailEvery: 3, InvalidateEvery: 4}
+	w := runFault(t, topology.Dancer(), np, Config{RingAllgather: true}, plan, func(r *mpi.Rank) {
+		for it := 0; it < iters; it++ {
+			send := r.Alloc(blk)
+			for i := range send.Data {
+				send.Data[i] = fpat(r.ID()+it, int64(i))
+			}
+			recv := r.Alloc(np * blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			for src := 0; src < np; src++ {
+				for i := int64(0); i < blk; i += 313 {
+					if recv.Data[int64(src)*blk+i] != fpat(src+it, i) {
+						t.Errorf("iter %d rank %d block %d wrong", it, r.ID(), src)
+						return
+					}
+				}
+			}
+		}
+	})
+	if w.Stats().Resends == 0 {
+		t.Error("ring recovered without resends")
+	}
+	if w.Knem().ActiveRegions() != 0 {
+		t.Errorf("%d regions leaked", w.Knem().ActiveRegions())
+	}
+}
+
+// DMA submissions that fail must degrade to synchronous kernel copies with
+// the payload intact.
+func TestDMAFaultDegradesToSync(t *testing.T) {
+	m := dmaMachine()
+	const blk = 64 << 10
+	plan := &fault.Plan{DMAFailEvery: 3, DMAStallEvery: 5}
+	w := runFault(t, m, m.NCores(), Config{DMADepth: 4}, plan, func(r *mpi.Rank) {
+		p := int64(r.Size())
+		send := r.Alloc(p * blk)
+		for j := 0; j < int(p); j++ {
+			for i := int64(0); i < blk; i++ {
+				send.Data[int64(j)*blk+i] = fpat(r.ID()*100+j, i)
+			}
+		}
+		recv := r.Alloc(p * blk)
+		r.Alltoall(send.Whole(), recv.Whole())
+		for src := 0; src < int(p); src++ {
+			for i := int64(0); i < blk; i += 239 {
+				if recv.Data[int64(src)*blk+i] != fpat(src*100+r.ID(), i) {
+					t.Errorf("rank %d block from %d wrong", r.ID(), src)
+					return
+				}
+			}
+		}
+	})
+	s := w.Stats()
+	if s.DMAFaults == 0 {
+		t.Error("plan injected no DMA faults")
+	}
+	if s.Fallbacks == 0 {
+		t.Error("DMA failures did not fall back to synchronous copies")
+	}
+}
+
+// Stragglers and degraded links change timing, never results, and the
+// straggler delay must actually slow the run down.
+func TestStragglerAndLinkSlowdown(t *testing.T) {
+	mach := topology.Dancer()
+	const size = 64 << 10
+	body := func(r *mpi.Rank) {
+		for it := 0; it < 3; it++ {
+			b := r.Alloc(size)
+			if r.ID() == 0 {
+				for i := range b.Data {
+					b.Data[i] = fpat(it, int64(i))
+				}
+			}
+			r.Bcast(b.Whole(), 0)
+		}
+	}
+	base, _, err := mpi.Run(mpi.Options{
+		Machine: mach, NP: 8, WithData: true,
+		Coll: func(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{Mode: ModeLinear}) },
+	}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{
+		Straggler:    map[int]float64{3: 2e-3},
+		LinkSlowdown: map[string]float64{mach.Links[0].Name: 0.5},
+	}
+	slowed, _, err := mpi.Run(mpi.Options{
+		Machine: mach, NP: 8, WithData: true, Fault: plan,
+		Coll: func(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{Mode: ModeLinear}) },
+	}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three collective entries at 2 ms each bound the slowdown from below.
+	if slowed < base+5e-3 {
+		t.Errorf("straggler run took %g, want >= %g", slowed, base+5e-3)
+	}
+}
+
+// Transient faults with a fixed seed must replay identically: same fault
+// sequence, same counters, same final virtual time.
+func TestTransientFaultDeterminism(t *testing.T) {
+	run := func() (float64, string) {
+		plan := &fault.Plan{Seed: 42, CopyTransient: 0.3, CreateTransient: 0.2, MaxRetries: 4}
+		var tEnd float64
+		w := runFault(t, topology.Dancer(), 8, Config{Mode: ModeLinear}, plan, func(r *mpi.Rank) {
+			for it := 0; it < 4; it++ {
+				b := r.Alloc(48 << 10)
+				if r.ID() == 0 {
+					for i := range b.Data {
+						b.Data[i] = fpat(it, int64(i))
+					}
+				}
+				r.Bcast(b.Whole(), 0)
+			}
+			tEnd = r.Now()
+		})
+		return tEnd, w.Stats().String()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Errorf("seeded runs diverged:\n t=%g vs %g\n %s\n vs\n %s", t1, t2, s1, s2)
+	}
+	if t1 == 0 {
+		t.Error("run did not advance time")
+	}
+}
+
+// Randomized fault schedules: whatever the plan injects, every collective
+// completes with the fault-free payload and no region leaks.
+func TestRandomFaultSchedules(t *testing.T) {
+	const np, blk = 8, 32 << 10
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		plan := &fault.Plan{
+			Seed:            rng.Int63(),
+			CreateFailEvery: rng.Intn(4),
+			InvalidateEvery: rng.Intn(5),
+			CopyTransient:   float64(rng.Intn(3)) * 0.1,
+			CreateTransient: float64(rng.Intn(2)) * 0.1,
+			MaxRetries:      1 + rng.Intn(3),
+		}
+		if rng.Intn(2) == 0 {
+			plan.PinnedPageBudget = 64 + rng.Int63n(256)
+		}
+		cfg := Config{RingAllgather: rng.Intn(2) == 0}
+		w := runFault(t, topology.Dancer(), np, cfg, plan, func(r *mpi.Rank) {
+			b := r.Alloc(blk)
+			if r.ID() == 0 {
+				for i := range b.Data {
+					b.Data[i] = fpat(0, int64(i))
+				}
+			}
+			r.Bcast(b.Whole(), 0)
+			for i := int64(0); i < blk; i += 101 {
+				if b.Data[i] != fpat(0, i) {
+					t.Errorf("trial %d: bcast wrong at rank %d", trial, r.ID())
+					return
+				}
+			}
+			send := r.Alloc(blk)
+			for i := range send.Data {
+				send.Data[i] = fpat(r.ID(), int64(i))
+			}
+			recv := r.Alloc(np * blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			for src := 0; src < np; src++ {
+				for i := int64(0); i < blk; i += 103 {
+					if recv.Data[int64(src)*blk+i] != fpat(src, i) {
+						t.Errorf("trial %d: allgather block %d wrong at rank %d", trial, src, r.ID())
+						return
+					}
+				}
+			}
+		})
+		if w.Knem().ActiveRegions() != 0 {
+			t.Errorf("trial %d: %d regions leaked", trial, w.Knem().ActiveRegions())
+		}
+	}
+}

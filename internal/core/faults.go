@@ -1,0 +1,855 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/fault"
+	"repro/internal/knem"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+)
+
+// Fault-tolerant variants of the KNEM collective protocols. When the world
+// carries a fault injector (Options.Fault), every KNEM entry point routes
+// here instead of the must* paths: region registration failures degrade the
+// operation to the fallback component or to point-to-point resends, copy
+// failures are retried with bounded backoff and then satisfied by a resend
+// from the data's owner, and every degradation is counted in trace.Stats.
+// Without an injector none of this code runs, so the fault-free simulation
+// stays bit-for-bit identical to the strict protocols.
+//
+// Degradation invariants shared by every protocol below:
+//
+//   - A region owner never deregisters while a peer might still access the
+//     region: owners collect exactly one response (ACK or NACK) per peer
+//     that was handed the cookie.
+//   - A peer that loses a region mid-operation never blocks a loop the
+//     owner's progress depends on: resend receives are posted before the
+//     NACK is sent, and stale notifications keep being consumed.
+//   - Peers of an owner that never had a region (registration failed) do
+//     not send responses — nobody collects them.
+
+// Extra out-of-band payloads for the recovery protocols.
+type (
+	// respMsg is a peer's single response to a region owner: ok reports a
+	// completed access; otherwise off is the first byte the peer still
+	// needs, to be resent point-to-point.
+	respMsg struct {
+		ok  bool
+		off int64
+	}
+	// ringNack asks the left neighbor to resend block rb point-to-point.
+	ringNack struct {
+		rb int
+	}
+)
+
+// injector returns the world's fault injector, or nil.
+func (c *Component) injector() *fault.Injector { return c.w.Knem().Injector() }
+
+// faulty reports whether the fault-tolerant protocol variants are active.
+func (c *Component) faulty() bool { return c.injector() != nil }
+
+// enter runs the per-entry bookkeeping of every collective: draining the
+// previous lazy synchronization and, under a fault plan, the configured
+// straggler delay for this rank.
+func (c *Component) enter(r *mpi.Rank) {
+	c.drainPending(r)
+	if in := c.injector(); in != nil {
+		if d := in.Straggle(r.ID()); d > 0 {
+			r.Sleep(d)
+		}
+	}
+}
+
+// tryCreate registers a region, retrying transient failures with the
+// plan's backoff. A persistent failure returns ok=false and the caller
+// degrades.
+func (c *Component) tryCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) (knem.Cookie, bool) {
+	in := c.injector()
+	for attempt := 0; ; attempt++ {
+		ck, err := c.w.Knem().Create(r.Proc(), r.ID(), []memsim.View{v}, dir)
+		switch {
+		case err == nil:
+			return ck, true
+		case err == knem.ErrAgain && attempt < in.MaxRetries():
+			c.w.Stats().Retries++
+			r.Sleep(in.Backoff(attempt))
+		default:
+			return 0, false
+		}
+	}
+}
+
+// tryCopy copies through a region, retrying transient failures. The
+// terminal error (invalid cookie, or a transient that outlived the retry
+// budget) is returned for the caller's NACK path.
+func (c *Component) tryCopy(r *mpi.Rank, local memsim.View, ck knem.Cookie, off int64, dir knem.Direction) error {
+	in := c.injector()
+	for attempt := 0; ; attempt++ {
+		err := c.w.Knem().Copy(r.Proc(), r.Core(), []memsim.View{local}, ck, off, dir)
+		switch {
+		case err == nil:
+			return nil
+		case err == knem.ErrAgain && attempt < in.MaxRetries():
+			c.w.Stats().Retries++
+			r.Sleep(in.Backoff(attempt))
+		default:
+			return err
+		}
+	}
+}
+
+// copyBlockFault fetches one block, going through the DMA engine when
+// configured and degrading an injected DMA failure to a synchronous copy.
+func (c *Component) copyBlockFault(r *mpi.Rank, dst memsim.View, ck knem.Cookie, off int64) error {
+	if c.cfg.DMADepth > 0 && c.w.Machine().DMA[r.Core().Domain.ID] != nil {
+		op, err := c.w.Knem().CopyDMA(r.Proc(), r.Core(), []memsim.View{dst}, ck, off, knem.DirRead)
+		if err == nil {
+			op.Wait(r.Proc())
+			return nil
+		}
+		if err != knem.ErrDMA && err != knem.ErrNoDMA {
+			return err
+		}
+		c.noteFallback(r, "dma-to-sync")
+	}
+	return c.tryCopy(r, dst, ck, off, knem.DirRead)
+}
+
+// destroyQuiet deregisters a region, tolerating one already torn down by
+// an injected invalidation.
+func (c *Component) destroyQuiet(r *mpi.Rank, ck knem.Cookie) {
+	if ck == 0 {
+		return
+	}
+	if err := c.w.Knem().Destroy(r.Proc(), ck); err != nil && err != knem.ErrInvalidCookie {
+		panic(fmt.Sprintf("core: rank %d knem destroy: %v", r.ID(), err))
+	}
+}
+
+// noteFallback counts one degraded operation.
+func (c *Component) noteFallback(r *mpi.Rank, op string) {
+	c.w.Stats().Fallbacks++
+	if in := c.injector(); in != nil {
+		in.Event("fallback", fmt.Sprintf("rank %d %s", r.ID(), op))
+	}
+}
+
+// noteResend counts one point-to-point resend of lost region data.
+func (c *Component) noteResend(r *mpi.Rank, op string) {
+	c.w.Stats().Resends++
+	if in := c.injector(); in != nil {
+		in.Event("resend", fmt.Sprintf("rank %d %s", r.ID(), op))
+	}
+}
+
+// fbScatter reports whether a cookie message announces a whole-operation
+// fallback (registration failed before any per-peer state existed).
+func opFallback(cm cookieMsg) bool { return cm.cookie == 0 && cm.n == 0 }
+
+// --- Linear Broadcast ----------------------------------------------------
+
+// bcastLinearFault is bcastLinear with degradation: a root that cannot
+// register falls the whole operation back to the delegate; a peer whose
+// read fails NACKs and receives the buffer point-to-point.
+//
+// Tags: tag cookie, tag+1 responses, tag+2 resent data.
+func (c *Component) bcastLinearFault(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	p := r.Size()
+	if r.ID() == root {
+		ck, ok := c.tryCreate(r, v, knem.DirRead)
+		if !ok {
+			c.noteFallback(r, "bcast-linear")
+			for i := 0; i < p; i++ {
+				if i != root {
+					r.SendOOB(i, tag, cookieMsg{})
+				}
+			}
+			c.fb.Bcast(r, v, root)
+			return
+		}
+		for i := 0; i < p; i++ {
+			if i != root {
+				r.SendOOB(i, tag, cookieMsg{cookie: ck, n: v.Len})
+			}
+		}
+		c.collectAndResend(r, v, tag+1, tag+2, p-1, "bcast-linear")
+		c.destroyQuiet(r, ck)
+		return
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	if opFallback(cm) {
+		c.fb.Bcast(r, v, root)
+		return
+	}
+	if err := c.tryCopy(r, v, cm.cookie, cm.off, knem.DirRead); err != nil {
+		r.SendOOB(root, tag+1, respMsg{ok: false})
+		r.Recv(root, tag+2, v)
+		return
+	}
+	r.SendOOB(root, tag+1, respMsg{ok: true})
+}
+
+// collectAndResend gathers n peer responses and serves every NACK with a
+// point-to-point resend of v from the requested offset.
+func (c *Component) collectAndResend(r *mpi.Rank, v memsim.View, respTag, dataTag, n int, op string) {
+	type nack struct {
+		from int
+		off  int64
+	}
+	var nacks []nack
+	for i := 0; i < n; i++ {
+		m, from := r.RecvOOB(mpi.AnySource, respTag)
+		if resp := m.(respMsg); !resp.ok {
+			nacks = append(nacks, nack{from: from, off: resp.off})
+		}
+	}
+	for _, nk := range nacks {
+		c.noteResend(r, op)
+		r.Send(nk.from, dataTag, v.SubView(nk.off, v.Len-nk.off))
+	}
+}
+
+// --- Scatter -------------------------------------------------------------
+
+// scatterKnemFault degrades a failed root registration to the delegate's
+// Scatterv and failed peer reads to point-to-point resends of the block.
+//
+// Tags: tag cookie, tag+1 responses, tag+2 resent blocks.
+func (c *Component) scatterKnemFault(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	tag := r.CollTag()
+	p := r.Size()
+	if r.ID() == root {
+		ck, ok := c.tryCreate(r, send, knem.DirRead)
+		if !ok {
+			c.noteFallback(r, "scatter")
+			for i := 0; i < p; i++ {
+				if i != root {
+					r.SendOOB(i, tag, cookieMsg{})
+				}
+			}
+			c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
+			return
+		}
+		for i := 0; i < p; i++ {
+			if i != root {
+				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: sdispls[i], n: scounts[i]})
+			}
+		}
+		r.LocalCopy(recv.SubView(0, scounts[root]), coll.VBlock(send, scounts, sdispls, root))
+		type nack struct{ from int }
+		var nacks []nack
+		for i := 0; i < p-1; i++ {
+			m, from := r.RecvOOB(mpi.AnySource, tag+1)
+			if !m.(respMsg).ok {
+				nacks = append(nacks, nack{from: from})
+			}
+		}
+		for _, nk := range nacks {
+			c.noteResend(r, "scatter")
+			r.Send(nk.from, tag+2, coll.VBlock(send, scounts, sdispls, nk.from))
+		}
+		c.destroyQuiet(r, ck)
+		return
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	if opFallback(cm) {
+		c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
+		return
+	}
+	if err := c.tryCopy(r, recv.SubView(0, cm.n), cm.cookie, cm.off, knem.DirRead); err != nil {
+		r.SendOOB(root, tag+1, respMsg{ok: false})
+		r.Recv(root, tag+2, recv.SubView(0, cm.n))
+		return
+	}
+	r.SendOOB(root, tag+1, respMsg{ok: true})
+}
+
+// --- Gather --------------------------------------------------------------
+
+// gatherKnemFault degrades a failed root registration to the delegate's
+// Gatherv; a peer whose write fails NACKs and sends its block
+// point-to-point for the root to place.
+//
+// Tags: tag cookie, tag+1 responses, tag+2 resent blocks.
+func (c *Component) gatherKnemFault(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	tag := r.CollTag()
+	p := r.Size()
+	if r.ID() == root {
+		ck, ok := c.tryCreate(r, recv, knem.DirWrite)
+		if !ok {
+			c.noteFallback(r, "gather")
+			for i := 0; i < p; i++ {
+				if i != root {
+					r.SendOOB(i, tag, cookieMsg{})
+				}
+			}
+			c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
+			return
+		}
+		for i := 0; i < p; i++ {
+			if i != root {
+				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: rdispls[i], n: rcounts[i]})
+			}
+		}
+		r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, root), send.SubView(0, rcounts[root]))
+		type nack struct{ from int }
+		var nacks []nack
+		for i := 0; i < p-1; i++ {
+			m, from := r.RecvOOB(mpi.AnySource, tag+1)
+			if !m.(respMsg).ok {
+				nacks = append(nacks, nack{from: from})
+			}
+		}
+		for _, nk := range nacks {
+			c.noteResend(r, "gather")
+			r.Recv(nk.from, tag+2, coll.VBlock(recv, rcounts, rdispls, nk.from))
+		}
+		c.destroyQuiet(r, ck)
+		return
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	if opFallback(cm) {
+		c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
+		return
+	}
+	if err := c.tryCopy(r, send.SubView(0, cm.n), cm.cookie, cm.off, knem.DirWrite); err != nil {
+		r.SendOOB(root, tag+1, respMsg{ok: false})
+		r.Send(root, tag+2, send.SubView(0, cm.n))
+		return
+	}
+	r.SendOOB(root, tag+1, respMsg{ok: true})
+}
+
+// --- Alltoall ------------------------------------------------------------
+
+// alltoallKnemFault degrades per sender: a rank that cannot register its
+// send buffer pushes its blocks point-to-point instead; a reader that
+// loses a peer's region posts a receive, NACKs, and keeps walking the
+// rotated schedule without ever blocking a loop an owner depends on.
+// Owners collect one response per reader of their region before
+// deregistering, resending lost blocks point-to-point.
+//
+// Tags: tag cookies, tag+3 block data (pushed or resent), tag+4 responses.
+func (c *Component) alltoallKnemFault(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	tag := r.CollTag()
+	p := r.Size()
+	me := r.ID()
+
+	ck, ok := c.tryCreate(r, send, knem.DirRead)
+	if !ok {
+		ck = 0
+		c.noteFallback(r, "alltoall")
+	}
+	for i := 0; i < p; i++ {
+		if i != me {
+			r.SendOOB(i, tag, a2aMsg{cookie: ck, sdispls: sdispls})
+		}
+	}
+	var sends, recvs []*mpi.Request
+	if ck == 0 {
+		// Regionless: push every block point-to-point; peers post matching
+		// receives when they see the zero cookie.
+		for i := 0; i < p; i++ {
+			if i != me {
+				sends = append(sends, r.Isend(i, tag+3, coll.VBlock(send, scounts, sdispls, i)))
+			}
+		}
+	}
+	r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, me), coll.VBlock(send, scounts, sdispls, me))
+
+	peers := make(map[int]a2aMsg, p-1)
+	for step := 1; step < p; step++ {
+		peer := (me + step) % p
+		pm, okPeer := peers[peer]
+		for !okPeer {
+			msg, from := r.RecvOOB(mpi.AnySource, tag)
+			peers[from] = msg.(a2aMsg)
+			pm, okPeer = peers[peer]
+		}
+		dst := coll.VBlock(recv, rcounts, rdispls, peer)
+		if pm.cookie == 0 {
+			// The peer pushes; no response is expected of us.
+			recvs = append(recvs, r.Irecv(peer, tag+3, dst))
+			continue
+		}
+		if err := c.copyBlockFault(r, dst, pm.cookie, pm.sdispls[me]); err != nil {
+			recvs = append(recvs, r.Irecv(peer, tag+3, dst))
+			r.SendOOB(peer, tag+4, respMsg{ok: false})
+			continue
+		}
+		r.SendOOB(peer, tag+4, respMsg{ok: true})
+	}
+
+	if ck != 0 {
+		// Every reader of our region responds exactly once; resend to the
+		// NACKers, then the region is safe to drop.
+		type nack struct{ from int }
+		var nacks []nack
+		for i := 0; i < p-1; i++ {
+			m, from := r.RecvOOB(mpi.AnySource, tag+4)
+			if !m.(respMsg).ok {
+				nacks = append(nacks, nack{from: from})
+			}
+		}
+		for _, nk := range nacks {
+			c.noteResend(r, "alltoall")
+			sends = append(sends, r.Isend(nk.from, tag+3, coll.VBlock(send, scounts, sdispls, nk.from)))
+		}
+	}
+	r.Wait(append(sends, recvs...)...)
+	if ck != 0 {
+		c.destroyQuiet(r, ck)
+	}
+}
+
+// --- Ring Allgather ------------------------------------------------------
+
+// allgatherRingFault runs the ring with per-step recovery: a rank whose
+// left neighbor's region is gone (or never existed) requests each block
+// point-to-point, and every rank services its right neighbor's resend
+// requests inside every wait — the ring stays deadlock-free because no
+// rank ever blocks without polling for NACKs. The final dissemination
+// barrier is replaced by a pairwise done handshake: only the right
+// neighbor reads a rank's region, so its release needs only that one peer.
+//
+// Tags: tag cookies, tag+1 tokens, tag+4 NACKs, tag+5 resent blocks,
+// tag+6 done handshake.
+func (c *Component) allgatherRingFault(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	tag := r.CollTag()
+	p := r.Size()
+	me := r.ID()
+	left := (me - 1 + p) % p
+	right := (me + 1) % p
+
+	r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, me), send.SubView(0, rcounts[me]))
+	ck, ok := c.tryCreate(r, recv, knem.DirRead)
+	if !ok {
+		ck = 0
+		c.noteFallback(r, "allgather-ring")
+	}
+	r.SendOOB(right, tag, cookieMsg{cookie: ck, n: recv.Len})
+	msg, _ := r.RecvOOB(left, tag)
+	leftCk := msg.(cookieMsg).cookie
+	leftDead := leftCk == 0
+
+	// service answers one pending resend request from the right neighbor.
+	service := func() {
+		if m, _, got := r.TryRecvOOB(right, tag+4); got {
+			nk := m.(ringNack)
+			c.noteResend(r, "allgather-ring")
+			r.Send(right, tag+5, coll.VBlock(recv, rcounts, rdispls, nk.rb))
+		}
+	}
+	// recvServiced blocks for an out-of-band value while servicing NACKs.
+	recvServiced := func(src, t int) any {
+		for {
+			if m, _, got := r.TryRecvOOB(src, t); got {
+				return m
+			}
+			service()
+			r.ProgressOOB()
+		}
+	}
+
+	for step := 0; step < p-1; step++ {
+		if step > 0 {
+			tok := recvServiced(left, tag+1).(ringToken)
+			if tok.step != step {
+				panic("core: ring allgather token out of order")
+			}
+		}
+		rb := (me - step - 1 + p) % p
+		dst := coll.VBlock(recv, rcounts, rdispls, rb)
+		done := false
+		if !leftDead {
+			if err := c.tryCopy(r, dst, leftCk, rdispls[rb], knem.DirRead); err == nil {
+				done = true
+			} else {
+				leftDead = true
+			}
+		}
+		if !done {
+			q := r.Irecv(left, tag+5, dst)
+			r.SendOOB(left, tag+4, ringNack{rb: rb})
+			for !r.Testall(q) {
+				service()
+				r.ProgressOOB()
+			}
+		}
+		// The token invariant is unchanged: block (me-step) is in place
+		// before the right neighbor is released into step step+1.
+		if step < p-2 {
+			r.SendOOB(right, tag+1, ringToken{step: step + 1})
+		}
+	}
+	r.SendOOB(left, tag+6, ackMsg{})
+	recvServiced(right, tag+6)
+	c.destroyQuiet(r, ck)
+}
+
+// --- Hierarchical Broadcast ----------------------------------------------
+
+// bcastHierarchicalFault mirrors the two-level pipeline with degradation
+// at every level: a root that cannot register falls the whole operation
+// back (leaders propagate the verdict to their leaves); a leader that
+// cannot register streams segments to its leaves point-to-point; any
+// reader that loses its source region NACKs upward once and receives the
+// remainder point-to-point, while still consuming the stale segment
+// notifications its provider keeps sending.
+//
+// Tags: tag root cookie, tag+1 responses to root, tag+2 leader cookie,
+// tag+3 segment notifications, tag+4 leaf responses to leader, tag+5 root
+// resend data, tag+6 leader data (stream or resend).
+func (c *Component) bcastHierarchicalFault(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	me := r.ID()
+	rootDom := c.domainOf[root]
+	myDom := c.domainOf[me]
+	seg := c.segSize(v.Len)
+
+	leaderOf := func(d int) int {
+		if d == rootDom {
+			return root
+		}
+		return c.members[d][0]
+	}
+
+	switch {
+	case me == root:
+		var targets []int
+		for _, m := range c.members[rootDom] {
+			if m != root {
+				targets = append(targets, m)
+			}
+		}
+		for d := range c.members {
+			if d != rootDom && len(c.members[d]) > 0 {
+				targets = append(targets, leaderOf(d))
+			}
+		}
+		ck, ok := c.tryCreate(r, v, knem.DirRead)
+		if !ok {
+			c.noteFallback(r, "bcast-hier")
+			for _, t := range targets {
+				r.SendOOB(t, tag, cookieMsg{})
+			}
+			c.fb.Bcast(r, v, root)
+			return
+		}
+		for _, t := range targets {
+			r.SendOOB(t, tag, cookieMsg{cookie: ck, n: v.Len})
+		}
+		c.collectAndResend(r, v, tag+1, tag+5, len(targets), "bcast-hier")
+		c.destroyQuiet(r, ck)
+
+	case myDom == rootDom:
+		msg, _ := r.RecvOOB(root, tag)
+		cm := msg.(cookieMsg)
+		if opFallback(cm) {
+			c.fb.Bcast(r, v, root)
+			return
+		}
+		if err := c.tryCopy(r, v, cm.cookie, 0, knem.DirRead); err != nil {
+			r.SendOOB(root, tag+1, respMsg{ok: false})
+			r.Recv(root, tag+5, v)
+			return
+		}
+		r.SendOOB(root, tag+1, respMsg{ok: true})
+
+	case me == leaderOf(myDom):
+		c.bcastLeaderFault(r, v, root, tag, seg)
+
+	default:
+		c.bcastLeafFault(r, v, root, leaderOf(myDom), tag, seg)
+	}
+}
+
+func (c *Component) bcastLeaderFault(r *mpi.Rank, v memsim.View, root, tag int, seg int64) {
+	me := r.ID()
+	var leaves []int
+	for _, m := range c.members[c.domainOf[me]] {
+		if m != me {
+			leaves = append(leaves, m)
+		}
+	}
+	msg, _ := r.RecvOOB(root, tag)
+	cm := msg.(cookieMsg)
+	if opFallback(cm) {
+		for _, l := range leaves {
+			r.SendOOB(l, tag+2, cookieMsg{})
+		}
+		c.fb.Bcast(r, v, root)
+		return
+	}
+	rootCk := cm.cookie
+
+	if len(leaves) == 0 {
+		if err := c.tryCopy(r, v, rootCk, 0, knem.DirRead); err != nil {
+			r.SendOOB(root, tag+1, respMsg{ok: false})
+			r.Recv(root, tag+5, v)
+			return
+		}
+		r.SendOOB(root, tag+1, respMsg{ok: true})
+		return
+	}
+
+	ownCk, haveRegion := c.tryCreate(r, v, knem.DirRead)
+	if haveRegion {
+		for _, l := range leaves {
+			r.SendOOB(l, tag+2, cookieMsg{cookie: ownCk, n: v.Len})
+		}
+	} else {
+		// No region for the leaves: announce streaming mode (zero cookie,
+		// nonzero length) and push each segment point-to-point instead.
+		c.noteFallback(r, "bcast-hier-leader")
+		for _, l := range leaves {
+			r.SendOOB(l, tag+2, cookieMsg{n: v.Len})
+		}
+	}
+
+	rootOK := true
+	responded := false
+	var streamSends []*mpi.Request
+	s := 0
+	eachSegment(v.Len, seg, func(off, n int64) {
+		if rootOK {
+			if err := c.tryCopy(r, v.SubView(off, n), rootCk, off, knem.DirRead); err != nil {
+				rootOK = false
+				responded = true
+				r.SendOOB(root, tag+1, respMsg{ok: false, off: off})
+				r.Recv(root, tag+5, v.SubView(off, v.Len-off))
+			}
+		}
+		if haveRegion {
+			for _, l := range leaves {
+				r.SendOOB(l, tag+3, segReady{seg: s})
+			}
+		} else {
+			for _, l := range leaves {
+				streamSends = append(streamSends, r.Isend(l, tag+6, v.SubView(off, n)))
+			}
+		}
+		s++
+	})
+	r.Wait(streamSends...)
+	if !responded {
+		r.SendOOB(root, tag+1, respMsg{ok: true})
+	}
+	if haveRegion {
+		c.collectAndResend(r, v, tag+4, tag+6, len(leaves), "bcast-hier-leader")
+		c.destroyQuiet(r, ownCk)
+	}
+}
+
+func (c *Component) bcastLeafFault(r *mpi.Rank, v memsim.View, root, leader, tag int, seg int64) {
+	msg, _ := r.RecvOOB(leader, tag+2)
+	cm := msg.(cookieMsg)
+	if opFallback(cm) {
+		c.fb.Bcast(r, v, root)
+		return
+	}
+	if cm.cookie == 0 {
+		// Regionless leader: segments arrive point-to-point, no response.
+		eachSegment(v.Len, seg, func(off, n int64) {
+			r.Recv(leader, tag+6, v.SubView(off, n))
+		})
+		return
+	}
+	alive := true
+	responded := false
+	s := 0
+	eachSegment(v.Len, seg, func(off, n int64) {
+		// Always consume the notification: the leader keeps sending them
+		// even after this leaf lost the region.
+		ready, _ := r.RecvOOB(leader, tag+3)
+		if got := ready.(segReady).seg; got != s {
+			panic("core: pipeline segment out of order")
+		}
+		if alive {
+			if err := c.tryCopy(r, v.SubView(off, n), cm.cookie, off, knem.DirRead); err != nil {
+				alive = false
+				responded = true
+				r.SendOOB(leader, tag+4, respMsg{ok: false, off: off})
+				r.Recv(leader, tag+6, v.SubView(off, v.Len-off))
+			}
+		}
+		s++
+	})
+	if !responded {
+		r.SendOOB(leader, tag+4, respMsg{ok: true})
+	}
+}
+
+// --- Multi-level Broadcast -----------------------------------------------
+
+// bcastMultiLevelFault runs the generic tree relay with the same
+// degradations as the two-level pipeline: whole-operation fallback when
+// the root cannot register (relays propagate the verdict down), streaming
+// relays when an interior registration fails, and NACK-plus-remainder
+// recovery for lost regions, with stale notifications always consumed.
+//
+// Tags: tag cookies, tag+1 upward responses, tag+3 segment notifications,
+// tag+5 parent data (stream or resend).
+func (c *Component) bcastMultiLevelFault(r *mpi.Rank, v memsim.View, root int) {
+	tag := r.CollTag()
+	me := r.ID()
+	seg := c.segSize(v.Len)
+	rolesAll := c.multiLevelRoles(root)
+	role := rolesAll[me]
+
+	if role.parent == -1 && me != root {
+		panic("core: multilevel rank outside tree")
+	}
+
+	if me == root {
+		ck, ok := c.tryCreate(r, v, knem.DirRead)
+		if !ok {
+			c.noteFallback(r, "bcast-multilevel")
+			for _, ch := range role.children {
+				r.SendOOB(ch, tag, cookieMsg{})
+			}
+			c.fb.Bcast(r, v, root)
+			return
+		}
+		for _, ch := range role.children {
+			r.SendOOB(ch, tag, cookieMsg{cookie: ck, n: v.Len})
+		}
+		for _, ch := range role.children {
+			if len(rolesAll[ch].children) == 0 {
+				r.SendOOB(ch, tag+3, segReady{seg: wholeBuffer})
+				continue
+			}
+			s := 0
+			eachSegment(v.Len, seg, func(off, n int64) {
+				r.SendOOB(ch, tag+3, segReady{seg: s})
+				s++
+			})
+		}
+		c.collectAndResend(r, v, tag+1, tag+5, len(role.children), "bcast-multilevel")
+		c.destroyQuiet(r, ck)
+		return
+	}
+
+	msg, _ := r.RecvOOB(role.parent, tag)
+	cm := msg.(cookieMsg)
+	if opFallback(cm) {
+		for _, ch := range role.children {
+			r.SendOOB(ch, tag, cookieMsg{})
+		}
+		c.fb.Bcast(r, v, root)
+		return
+	}
+	parentCk := cm.cookie
+	parentStreams := parentCk == 0
+
+	if len(role.children) == 0 {
+		c.mlLeafFault(r, v, role.parent, parentCk, parentStreams, tag, seg)
+		return
+	}
+
+	ownCk, haveRegion := c.tryCreate(r, v, knem.DirRead)
+	if haveRegion {
+		for _, ch := range role.children {
+			r.SendOOB(ch, tag, cookieMsg{cookie: ownCk, n: v.Len})
+		}
+	} else {
+		c.noteFallback(r, "bcast-multilevel-relay")
+		for _, ch := range role.children {
+			r.SendOOB(ch, tag, cookieMsg{n: v.Len})
+		}
+	}
+
+	parentOK := !parentStreams
+	responded := false
+	var streamSends []*mpi.Request
+	s := 0
+	eachSegment(v.Len, seg, func(off, n int64) {
+		if parentStreams {
+			r.Recv(role.parent, tag+5, v.SubView(off, n))
+		} else {
+			ready, _ := r.RecvOOB(role.parent, tag+3)
+			if ready.(segReady).seg != s {
+				panic("core: multilevel segment out of order")
+			}
+			if parentOK {
+				if err := c.tryCopy(r, v.SubView(off, n), parentCk, off, knem.DirRead); err != nil {
+					parentOK = false
+					responded = true
+					r.SendOOB(role.parent, tag+1, respMsg{ok: false, off: off})
+					r.Recv(role.parent, tag+5, v.SubView(off, v.Len-off))
+				}
+			}
+		}
+		if haveRegion {
+			for _, ch := range role.children {
+				r.SendOOB(ch, tag+3, segReady{seg: s})
+			}
+		} else {
+			for _, ch := range role.children {
+				streamSends = append(streamSends, r.Isend(ch, tag+5, v.SubView(off, n)))
+			}
+		}
+		s++
+	})
+	r.Wait(streamSends...)
+	if !parentStreams && !responded {
+		r.SendOOB(role.parent, tag+1, respMsg{ok: true})
+	}
+	if haveRegion {
+		c.collectAndResend(r, v, tag+1, tag+5, len(role.children), "bcast-multilevel-relay")
+		c.destroyQuiet(r, ownCk)
+	}
+}
+
+// mlLeafFault is the multi-level leaf: whole-buffer read under the root,
+// per-segment otherwise, with NACK recovery and stale notifications
+// consumed. A streaming parent sends segments point-to-point and collects
+// no response.
+func (c *Component) mlLeafFault(r *mpi.Rank, v memsim.View, parent int, parentCk knem.Cookie, parentStreams bool, tag int, seg int64) {
+	if parentStreams {
+		eachSegment(v.Len, seg, func(off, n int64) {
+			r.Recv(parent, tag+5, v.SubView(off, n))
+		})
+		return
+	}
+	first, _ := r.RecvOOB(parent, tag+3)
+	if first.(segReady).seg == wholeBuffer {
+		if err := c.tryCopy(r, v, parentCk, 0, knem.DirRead); err != nil {
+			r.SendOOB(parent, tag+1, respMsg{ok: false})
+			r.Recv(parent, tag+5, v)
+			return
+		}
+		r.SendOOB(parent, tag+1, respMsg{ok: true})
+		return
+	}
+	alive := true
+	responded := false
+	s := 0
+	eachSegment(v.Len, seg, func(off, n int64) {
+		if s > 0 {
+			ready, _ := r.RecvOOB(parent, tag+3)
+			if ready.(segReady).seg != s {
+				panic("core: multilevel segment out of order")
+			}
+		}
+		if alive {
+			if err := c.tryCopy(r, v.SubView(off, n), parentCk, off, knem.DirRead); err != nil {
+				alive = false
+				responded = true
+				r.SendOOB(parent, tag+1, respMsg{ok: false, off: off})
+				r.Recv(parent, tag+5, v.SubView(off, v.Len-off))
+			}
+		}
+		s++
+	})
+	if !responded {
+		r.SendOOB(parent, tag+1, respMsg{ok: true})
+	}
+}

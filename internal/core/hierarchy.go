@@ -25,6 +25,10 @@ import (
 //	tag+4  members -> leader                 : final ACK
 
 func (c *Component) bcastHierarchical(r *mpi.Rank, v memsim.View, root int) {
+	if c.faulty() {
+		c.bcastHierarchicalFault(r, v, root)
+		return
+	}
 	tag := r.CollTag()
 	me := r.ID()
 	rootDom := c.domainOf[root]

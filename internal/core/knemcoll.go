@@ -142,6 +142,10 @@ func (c *Component) drainPending(r *mpi.Rank) {
 	for i := 0; i < ps.nACKs; i++ {
 		r.RecvOOB(mpi.AnySource, ps.tag)
 	}
+	if c.faulty() {
+		c.destroyQuiet(r, ps.cookie)
+		return
+	}
 	c.mustDestroy(r, ps.cookie)
 }
 
@@ -149,6 +153,10 @@ func (c *Component) drainPending(r *mpi.Rank) {
 // §V-B protocol) or defers both to the rank's next entry (LazySync).
 func (c *Component) finishRoot(r *mpi.Rank, ck knem.Cookie, ackTag, nACKs int) {
 	if c.cfg.LazySync {
+		// Drain any state a previous operation left behind before it is
+		// overwritten: overwriting would leak the old region and strand its
+		// unconsumed ACKs in the out-of-band queue.
+		c.drainPending(r)
 		c.pending[r.ID()] = &pendingSync{cookie: ck, tag: ackTag, nACKs: nACKs}
 		return
 	}
@@ -254,14 +262,14 @@ func (c *Component) mustDestroy(r *mpi.Rank, ck knem.Cookie) {
 
 // Barrier delegates to the fallback component.
 func (c *Component) Barrier(r *mpi.Rank) {
-	c.drainPending(r)
+	c.enter(r)
 	c.fb.Barrier(r)
 }
 
 // Bcast implements §V-B: linear single-region broadcast, or the
 // hierarchical pipelined algorithm of §IV on deeply NUMA machines.
 func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
-	c.drainPending(r)
+	c.enter(r)
 	if v.Len < c.cfg.Threshold || r.Size() == 1 {
 		c.fb.Bcast(r, v, root)
 		return
@@ -281,6 +289,10 @@ func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
 // copies the full buffer in parallel, then ACKs; the root deregisters
 // after all ACKs (§V-B steps 1-6).
 func (c *Component) bcastLinear(r *mpi.Rank, v memsim.View, root int) {
+	if c.faulty() {
+		c.bcastLinearFault(r, v, root)
+		return
+	}
 	tag := r.CollTag()
 	p := r.Size()
 	if r.ID() == root {
@@ -302,7 +314,7 @@ func (c *Component) bcastLinear(r *mpi.Rank, v memsim.View, root int) {
 // Scatter sends block i of the root buffer to rank i; receivers read their
 // own offset (granularity control), so the root performs no copies at all.
 func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
-	c.drainPending(r)
+	c.enter(r)
 	if recv.Len < c.cfg.Threshold || r.Size() == 1 {
 		c.fb.Scatter(r, send, recv, root)
 		return
@@ -315,7 +327,7 @@ func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
 // always take the KNEM path: per-rank counts are not globally known, so a
 // size-based switch could pick different algorithms on different ranks.
 func (c *Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
-	c.drainPending(r)
+	c.enter(r)
 	if r.Size() == 1 {
 		c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
 		return
@@ -324,6 +336,10 @@ func (c *Component) Scatterv(r *mpi.Rank, send memsim.View, scounts, sdispls []i
 }
 
 func (c *Component) scatterKnem(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+	if c.faulty() {
+		c.scatterKnemFault(r, send, scounts, sdispls, recv, root)
+		return
+	}
 	tag := r.CollTag()
 	p := r.Size()
 	if r.ID() == root {
@@ -347,7 +363,7 @@ func (c *Component) scatterKnem(r *mpi.Rank, send memsim.View, scounts, sdispls 
 // buffer as a write region and all non-root processes write their blocks
 // simultaneously — impossible with point-to-point semantics.
 func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
-	c.drainPending(r)
+	c.enter(r)
 	if send.Len < c.cfg.Threshold || r.Size() == 1 {
 		c.fb.Gather(r, send, recv, root)
 		return
@@ -360,7 +376,7 @@ func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
 // path: counts are only significant at the root, so no globally
 // consistent size switch exists).
 func (c *Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
-	c.drainPending(r)
+	c.enter(r)
 	if r.Size() == 1 {
 		c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
 		return
@@ -369,6 +385,10 @@ func (c *Component) Gatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispl
 }
 
 func (c *Component) gatherKnem(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+	if c.faulty() {
+		c.gatherKnemFault(r, send, recv, rcounts, rdispls, root)
+		return
+	}
 	tag := r.CollTag()
 	p := r.Size()
 	if r.ID() == root {
@@ -395,7 +415,7 @@ func (c *Component) gatherKnem(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 // a KNEM Broadcast (§V-C) — simple, and deliberately kept with its known
 // root-bottleneck weakness on large NUMA nodes (§VI-D analyses it).
 func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
-	c.drainPending(r)
+	c.enter(r)
 	if send.Len < c.cfg.Threshold || r.Size() == 1 {
 		c.fb.Allgather(r, send, recv)
 		return
@@ -413,7 +433,7 @@ func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
 // It may gate on counts: MPI requires identical rcounts/rdispls
 // on every rank, so the decision is globally consistent.
 func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
-	c.drainPending(r)
+	c.enter(r)
 	if maxCount(rcounts) < c.cfg.Threshold || r.Size() == 1 {
 		c.fb.Allgatherv(r, send, recv, rcounts, rdispls)
 		return
@@ -429,7 +449,7 @@ func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 // Alltoall rotates reads so each sender's memory is accessed by exactly
 // one peer per step (§V-C, Fig. 3).
 func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
-	c.drainPending(r)
+	c.enter(r)
 	blk := send.Len / int64(r.Size())
 	if blk < c.cfg.Threshold || r.Size() == 1 {
 		c.fb.Alltoall(r, send, recv)
@@ -443,7 +463,7 @@ func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
 // KNEM path: each rank only sees its own counts, so a size switch could
 // disagree across ranks).
 func (c *Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
-	c.drainPending(r)
+	c.enter(r)
 	if r.Size() == 1 {
 		c.fb.Alltoallv(r, send, scounts, sdispls, recv, rcounts, rdispls)
 		return
@@ -452,6 +472,10 @@ func (c *Component) Alltoallv(r *mpi.Rank, send memsim.View, scounts, sdispls []
 }
 
 func (c *Component) alltoallKnem(r *mpi.Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+	if c.faulty() {
+		c.alltoallKnemFault(r, send, scounts, sdispls, recv, rcounts, rdispls)
+		return
+	}
 	tag := r.CollTag()
 	p := r.Size()
 	me := r.ID()
@@ -515,18 +539,18 @@ func maxCount(counts []int64) int64 {
 // them in kernel space, so reductions are outside the component's scope
 // (handled like any unimplemented collective, §V-A).
 func (c *Component) Reduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp, root int) {
-	c.drainPending(r)
+	c.enter(r)
 	c.fb.Reduce(r, send, recv, op, root)
 }
 
 // Allreduce delegates to the fallback.
 func (c *Component) Allreduce(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
-	c.drainPending(r)
+	c.enter(r)
 	c.fb.Allreduce(r, send, recv, op)
 }
 
 // ReduceScatterBlock delegates to the fallback.
 func (c *Component) ReduceScatterBlock(r *mpi.Rank, send, recv memsim.View, op mpi.ReduceOp) {
-	c.drainPending(r)
+	c.enter(r)
 	c.fb.ReduceScatterBlock(r, send, recv, op)
 }

@@ -103,6 +103,10 @@ const wholeBuffer = -1 // segReady.seg value meaning "read everything"
 // segment notifications; sources disambiguate levels (every rank only
 // receives from its own parent and children).
 func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
+	if c.faulty() {
+		c.bcastMultiLevelFault(r, v, root)
+		return
+	}
 	tag := r.CollTag()
 	me := r.ID()
 	seg := c.segSize(v.Len)

@@ -31,6 +31,10 @@ type ringToken struct {
 }
 
 func (c *Component) allgatherRing(r *mpi.Rank, send, recv memsim.View, rcounts, rdispls []int64) {
+	if c.faulty() {
+		c.allgatherRingFault(r, send, recv, rcounts, rdispls)
+		return
+	}
 	tag := r.CollTag()
 	p := r.Size()
 	me := r.ID()

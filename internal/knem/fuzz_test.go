@@ -1,0 +1,92 @@
+package knem
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+)
+
+// FuzzVectorRegion registers a 1–3 segment vectorial region and throws
+// arbitrary copy requests at it: random logical offsets and lengths
+// (including offsets chosen to overflow off+length), split destination
+// iovecs, and wrong-direction attempts. Invariants: wrong direction is
+// ErrDirection, anything outside [0, total] is ErrRange, and every
+// accepted read yields exactly the logical concatenation bytes.
+func FuzzVectorRegion(f *testing.F) {
+	f.Add(uint16(100), uint16(100), uint16(50), int64(40), uint16(120), false, uint8(60))
+	f.Add(uint16(1), uint16(1), uint16(1), int64(0), uint16(3), false, uint8(1))
+	f.Add(uint16(4096), uint16(0), uint16(0), int64(4095), uint16(1), false, uint8(0))
+	f.Add(uint16(256), uint16(256), uint16(256), int64(-1), uint16(8), false, uint8(4))
+	f.Add(uint16(256), uint16(256), uint16(256), int64(1000), uint16(8), true, uint8(4))
+	f.Add(uint16(64), uint16(64), uint16(0), int64(math.MaxInt64-4), uint16(16), false, uint8(8))
+	f.Add(uint16(512), uint16(512), uint16(512), int64(1536), uint16(1), false, uint8(0))
+
+	f.Fuzz(func(t *testing.T, aLen, bLen, cLen uint16, off int64, n uint16, asWrite bool, split uint8) {
+		e, net, mod, m := setup()
+
+		segLens := []int64{int64(aLen)%1024 + 1, int64(bLen)%1024 + 1, int64(cLen)%1024 + 1}
+		segLens = segLens[:1+int(cLen)%3]
+		var segs []memsim.View
+		var concat []byte
+		total := int64(0)
+		for k, sl := range segLens {
+			buf := net.Alloc(m.Domains[k%len(m.Domains)], sl, true)
+			for i := range buf.Data {
+				buf.Data[i] = byte(k*37 + i*3 + 11)
+			}
+			segs = append(segs, buf.Whole())
+			concat = append(concat, buf.Data...)
+			total += sl
+		}
+
+		l := int64(n)%2048 + 1
+		dst := net.Alloc(m.Domains[0], l, true)
+		sp := int64(split) % (l + 1)
+		locals := []memsim.View{dst.View(0, sp), dst.View(sp, l-sp)}
+
+		dir := DirRead
+		if asWrite {
+			dir = DirWrite
+		}
+
+		var copyErr error
+		e.Spawn("fuzz", func(p *sim.Proc) {
+			ck, err := mod.Create(p, 0, segs, DirRead)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			copyErr = mod.Copy(p, m.Cores[4], locals, ck, off, dir)
+			if err := mod.Destroy(p, ck); err != nil {
+				t.Fatalf("Destroy: %v", err)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+
+		switch {
+		case asWrite:
+			if copyErr != ErrDirection {
+				t.Fatalf("write to read-only region: err = %v, want ErrDirection", copyErr)
+			}
+		case off < 0 || off > total || l > total-off:
+			if copyErr != ErrRange {
+				t.Fatalf("off=%d l=%d total=%d: err = %v, want ErrRange", off, l, total, copyErr)
+			}
+		default:
+			if copyErr != nil {
+				t.Fatalf("in-range copy off=%d l=%d total=%d failed: %v", off, l, total, copyErr)
+			}
+			if !bytes.Equal(dst.Data, concat[off:off+l]) {
+				t.Fatalf("payload mismatch at off=%d l=%d (segments %v)", off, l, segLens)
+			}
+		}
+
+		if mod.ActiveRegions() != 0 {
+			t.Fatal("region leaked")
+		}
+	})
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/memsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -59,6 +60,15 @@ var (
 	ErrDirection     = errors.New("knem: direction not permitted by region")
 	ErrRange         = errors.New("knem: copy range exceeds region")
 	ErrNoDMA         = errors.New("knem: no DMA engine on this machine")
+	// ErrNoMem is the simulated ENOMEM from get_user_pages: the
+	// fault plan's pinned-page budget is exhausted (or an injected hard
+	// registration failure). Not retryable; callers must degrade.
+	ErrNoMem = errors.New("knem: cannot pin region (pinned-page budget exhausted)")
+	// ErrAgain is a transient, retryable failure injected by a fault plan.
+	ErrAgain = errors.New("knem: resource temporarily unavailable")
+	// ErrDMA is an injected DMA engine failure; the caller should fall
+	// back to a synchronous kernel copy.
+	ErrDMA = errors.New("knem: dma engine fault")
 )
 
 // Region is a declared memory region.
@@ -68,6 +78,7 @@ type Region struct {
 	segs   []memsim.View
 	dir    Direction
 	total  int64
+	pages  int64
 }
 
 // Len returns the total byte length of the region.
@@ -78,7 +89,15 @@ type Module struct {
 	net     *memsim.Net
 	regions map[Cookie]*Region
 	next    Cookie
+	inj     *fault.Injector
 }
+
+// SetInjector attaches a fault injector; nil (the default) disables
+// injection and leaves every path identical to the fault-free module.
+func (m *Module) SetInjector(in *fault.Injector) { m.inj = in }
+
+// Injector returns the attached fault injector, or nil.
+func (m *Module) Injector() *fault.Injector { return m.inj }
 
 // New attaches a module to a memory system.
 func New(net *memsim.Net) *Module {
@@ -114,9 +133,18 @@ func (m *Module) Create(p *sim.Proc, owner int, views []memsim.View, dir Directi
 		total += v.Len
 	}
 	pages := (total + 4095) / 4096
+	if m.inj != nil {
+		// get_user_pages fails before any pinning cost accrues.
+		switch m.inj.Create(pages) {
+		case fault.NoMem:
+			return 0, ErrNoMem
+		case fault.Transient:
+			return 0, ErrAgain
+		}
+	}
 	p.Wait(float64(pages) * m.net.Machine().Spec.PinPerPage)
 	m.next++
-	r := &Region{cookie: m.next, owner: owner, segs: views, dir: dir, total: total}
+	r := &Region{cookie: m.next, owner: owner, segs: views, dir: dir, total: total, pages: pages}
 	m.regions[r.cookie] = r
 	m.net.Stats().Registrations++
 	return r.cookie, nil
@@ -125,17 +153,35 @@ func (m *Module) Create(p *sim.Proc, owner int, views []memsim.View, dir Directi
 // Destroy deregisters a region.
 func (m *Module) Destroy(p *sim.Proc, c Cookie) error {
 	m.trap(p)
-	if _, ok := m.regions[c]; !ok {
+	r, ok := m.regions[c]
+	if !ok {
 		return ErrInvalidCookie
 	}
 	delete(m.regions, c)
+	if m.inj != nil {
+		m.inj.Release(r.pages)
+	}
 	return nil
+}
+
+// invalidate tears a region down behind its users' backs (injected cookie
+// invalidation); the next access observes ErrInvalidCookie.
+func (m *Module) invalidate(c Cookie) {
+	r, ok := m.regions[c]
+	if !ok {
+		return
+	}
+	delete(m.regions, c)
+	m.inj.Release(r.pages)
+	m.net.Stats().Invalidations++
 }
 
 // slice resolves [off, off+length) of the region's logical extent into
 // concrete views across its segments.
 func (r *Region) slice(off, length int64) ([]memsim.View, error) {
-	if off < 0 || length < 0 || off+length > r.total {
+	// Compare without computing off+length: the sum can overflow int64 for
+	// adversarial offsets and would let a huge off slip past the check.
+	if off < 0 || length < 0 || off > r.total || length > r.total-off {
 		return nil, ErrRange
 	}
 	var out []memsim.View
@@ -192,6 +238,15 @@ func pairChunks(a, b []memsim.View, fn func(av, bv memsim.View)) {
 func (m *Module) Copy(p *sim.Proc, core *topology.Core, local []memsim.View, c Cookie, remoteOff int64, dir Direction) error {
 	m.trap(p)
 	p.Wait(m.net.Machine().Spec.CopySetup)
+	if m.inj != nil {
+		switch m.inj.Copy() {
+		case fault.Transient:
+			return ErrAgain
+		case fault.Invalidated:
+			m.invalidate(c)
+			return ErrInvalidCookie
+		}
+	}
 	remote, n, err := m.resolve(local, c, remoteOff, dir)
 	if err != nil {
 		return err
@@ -240,6 +295,15 @@ func (m *Module) CopyDMA(p *sim.Proc, core *topology.Core, local []memsim.View, 
 	p.Wait(m.net.Machine().Spec.CopySetup)
 	if m.net.Machine().DMA[core.Domain.ID] == nil {
 		return nil, ErrNoDMA
+	}
+	if m.inj != nil {
+		stall, failed := m.inj.DMA()
+		if stall > 0 {
+			p.Wait(stall)
+		}
+		if failed {
+			return nil, ErrDMA
+		}
 	}
 	remote, _, err := m.resolve(local, c, remoteOff, dir)
 	if err != nil {

@@ -13,11 +13,12 @@ import (
 // concurrent copies share link bandwidth max-min fairly; rates are
 // recomputed whenever a flow starts or finishes.
 type Net struct {
-	eng    *sim.Engine
-	mach   *topology.Machine
-	stats  *trace.Stats
-	tl     *trace.Timeline
-	caches []*groupCache
+	eng     *sim.Engine
+	mach    *topology.Machine
+	stats   *trace.Stats
+	tl      *trace.Timeline
+	caches  []*groupCache
+	bwScale []float64 // per-link bandwidth multipliers (nil = none)
 
 	flows      []*flow
 	lastUpdate sim.Time
@@ -88,6 +89,43 @@ func (n *Net) Stats() *trace.Stats { return n.stats }
 // SetTimeline attaches a span recorder; every copy becomes a span on its
 // executing engine's lane. Pass nil to disable (the default).
 func (n *Net) SetTimeline(tl *trace.Timeline) { n.tl = tl }
+
+// Timeline returns the attached span recorder (nil when disabled).
+func (n *Net) Timeline() *trace.Timeline { return n.tl }
+
+// LinkScaler supplies per-link bandwidth multipliers in (0, 1] — the
+// fault-injection hook for degraded interconnects and slow cores (core
+// copy engines are links too). Implemented by fault.Injector.
+type LinkScaler interface {
+	LinkScale(name string) float64
+}
+
+// SetLinkScaler snapshots the scaler's multiplier for every machine link.
+// Pass nil to restore full bandwidth. Values outside (0, 1] are clamped
+// to 1 so a misconfigured plan cannot stall the water-filling solver.
+func (n *Net) SetLinkScaler(s LinkScaler) {
+	if s == nil {
+		n.bwScale = nil
+		return
+	}
+	n.bwScale = make([]float64, len(n.mach.Links))
+	for i, l := range n.mach.Links {
+		f := s.LinkScale(l.Name)
+		if f <= 0 || f > 1 {
+			f = 1
+		}
+		n.bwScale[i] = f
+	}
+}
+
+// linkBW returns link i's effective bandwidth under any active scaling.
+func (n *Net) linkBW(i int) float64 {
+	bw := n.mach.Links[i].BW
+	if n.bwScale != nil {
+		bw *= n.bwScale[i]
+	}
+	return bw
+}
 
 // Busy returns the number of in-flight flows (for tests).
 func (n *Net) Busy() int { return len(n.flows) }
@@ -327,7 +365,7 @@ func (n *Net) recomputeRates() {
 			if weight[i] <= 0 {
 				continue
 			}
-			s := (n.mach.Links[i].BW - fixedLoad[i]) / weight[i]
+			s := (n.linkBW(i) - fixedLoad[i]) / weight[i]
 			if s < share {
 				share = s
 			}
@@ -345,7 +383,7 @@ func (n *Net) recomputeRates() {
 			if weight[i] <= 0 {
 				continue
 			}
-			s := (n.mach.Links[i].BW - fixedLoad[i]) / weight[i]
+			s := (n.linkBW(i) - fixedLoad[i]) / weight[i]
 			if s <= share*(1+1e-12) {
 				saturated[i] = true
 			}

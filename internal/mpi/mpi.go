@@ -12,6 +12,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/knem"
 	"repro/internal/memsim"
 	"repro/internal/shm"
@@ -100,6 +101,11 @@ type Options struct {
 	// Timeline, when non-nil, records every memory copy as a span for
 	// Gantt rendering and utilization analysis.
 	Timeline *trace.Timeline
+	// Fault, when non-nil and non-empty, attaches a deterministic fault
+	// injector to the world: the KNEM module, the memory system, and the
+	// collective components consult it. A nil or empty plan leaves every
+	// code path identical to the fault-free runtime.
+	Fault *fault.Plan
 }
 
 // World is one MPI job on one machine.
@@ -157,6 +163,11 @@ func NewWorld(opts Options) (*World, error) {
 		kn:       knem.New(net),
 		opts:     opts,
 		nextComm: 1, // 0 = the world component's tag space, 1 = WorldComm
+	}
+	if !opts.Fault.Empty() {
+		inj := fault.NewInjector(*opts.Fault, eng, net.Stats(), opts.Timeline)
+		w.kn.SetInjector(inj)
+		net.SetLinkScaler(inj)
 	}
 	for i := 0; i < opts.NP; i++ {
 		w.ranks = append(w.ranks, newRank(w, i))

@@ -153,11 +153,16 @@ func (r *Rank) Isend(to, tag int, v memsim.View) *Request {
 	rts := rtsMsg{tag: tag, n: v.Len, sendID: q.id}
 	if r.w.opts.BTL == BTLKNEM && v.Len >= r.w.opts.KnemMin {
 		c, err := r.w.kn.Create(r.proc, r.id, []memsim.View{v}, knem.DirRead)
-		if err != nil {
-			panic("mpi: knem create failed: " + err.Error())
+		if err == nil {
+			q.cookie = c
+			rts.cookie = c
+		} else {
+			// Registration failed (pinned-page exhaustion or an injected
+			// fault): degrade this message to the SM fragment pipeline.
+			// The RTS carries no cookie, so the receiver runs the
+			// copy-in/copy-out rendezvous.
+			r.w.Stats().Fallbacks++
 		}
-		q.cookie = c
-		rts.cookie = c
 	}
 	r.w.tr.SendCtrl(r.id, to, rts)
 	return q
@@ -200,12 +205,19 @@ func (r *Rank) matchRTS(q *Request, src int, rts *rtsMsg) {
 	dst := q.view.SubView(0, rts.n)
 	if rts.cookie != 0 {
 		// KNEM single copy, performed by the receiving core.
-		if err := r.w.kn.Copy(r.proc, r.core, []memsim.View{dst}, rts.cookie, 0, knem.DirRead); err != nil {
+		err := r.w.kn.Copy(r.proc, r.core, []memsim.View{dst}, rts.cookie, 0, knem.DirRead)
+		if err == nil {
+			r.w.tr.SendCtrl(r.id, src, finMsg{sendID: rts.sendID})
+			q.state = stateDone
+			return
+		}
+		if r.w.kn.Injector() == nil {
 			panic("mpi: knem copy failed: " + err.Error())
 		}
-		r.w.tr.SendCtrl(r.id, src, finMsg{sendID: rts.sendID})
-		q.state = stateDone
-		return
+		// The single copy failed under a fault plan (transient fault or
+		// invalidated cookie): degrade to the SM fragment pipeline. The
+		// CTS tells the sender to drop its region and stream instead.
+		r.w.Stats().Fallbacks++
 	}
 	r.nextReq++
 	q.id = r.nextReq
@@ -315,6 +327,15 @@ func (r *Rank) dispatch(msg shm.Msg) {
 		q := r.activeSend[m.sendID]
 		if q == nil {
 			panic("mpi: CTS for unknown send")
+		}
+		if q.cookie != 0 {
+			// The receiver degraded a KNEM rendezvous to SM streaming;
+			// the region is no longer needed (and may already be gone
+			// if a fault invalidated it).
+			if err := r.w.kn.Destroy(r.proc, q.cookie); err != nil && err != knem.ErrInvalidCookie {
+				panic("mpi: knem destroy failed: " + err.Error())
+			}
+			q.cookie = 0
 		}
 		q.recvID = m.recvID
 		q.state = stateStreaming
@@ -433,6 +454,34 @@ func (r *Rank) RecvOOB(src, tag int) (any, int) {
 		r.pushStreams()
 		r.progressOne()
 	}
+}
+
+// TryRecvOOB returns a matching out-of-band value if one has already
+// arrived, draining delivered control traffic without blocking. Fault
+// recovery uses it to service resend requests while waiting for protocol
+// tokens.
+func (r *Rank) TryRecvOOB(src, tag int) (any, int, bool) {
+	for {
+		for i, m := range r.oobQ {
+			if match(m.from, m.tag, src, tag) {
+				r.oobQ = append(r.oobQ[:i], r.oobQ[i+1:]...)
+				return m.data, m.from, true
+			}
+		}
+		msg, ok := r.w.tr.TryRecvCtrl(r.id)
+		if !ok {
+			return nil, 0, false
+		}
+		r.dispatch(msg)
+	}
+}
+
+// ProgressOOB pushes pending rendezvous streams and blocks until one more
+// control message is delivered. Service loops alternate TryRecvOOB polls
+// with ProgressOOB so they advance simulated time only when idle.
+func (r *Rank) ProgressOOB() {
+	r.pushStreams()
+	r.progressOne()
 }
 
 // --- Probing --------------------------------------------------------------

@@ -1,0 +1,86 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Error-returning collective entry points. The component interface and the
+// plain Rank methods keep MPI's abort-on-error discipline (a failed
+// collective panics the simulation); the Try variants convert that abort
+// into an error so harnesses and applications can observe, report, and
+// tear down cleanly instead of crashing the process.
+//
+// A returned error still means the world's collective state is broken —
+// peers may be blocked inside the failed operation — so the only safe
+// follow-ups are inspection and shutdown, not further collectives.
+
+// CollError reports a collective operation that aborted on this rank.
+type CollError struct {
+	Op     string // operation name, e.g. "Bcast"
+	Rank   int    // rank that observed the abort
+	Reason any    // the recovered panic value
+}
+
+func (e *CollError) Error() string {
+	return fmt.Sprintf("mpi: %s aborted on rank %d: %v", e.Op, e.Rank, e.Reason)
+}
+
+// tryColl runs fn, converting a collective abort into a CollError.
+// Only string and error panics are captured: those are the runtime's and
+// the components' abort values. Anything else (in particular the
+// simulator's internal control panics) propagates untouched.
+func (r *Rank) tryColl(op string, fn func()) (err error) {
+	defer func() {
+		switch p := recover(); p.(type) {
+		case nil:
+		case string, error:
+			err = &CollError{Op: op, Rank: r.id, Reason: p}
+		default:
+			panic(p)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TryBarrier is Barrier returning an error instead of aborting.
+func (r *Rank) TryBarrier() error {
+	return r.tryColl("Barrier", func() { r.Barrier() })
+}
+
+// TryBcast is Bcast returning an error instead of aborting.
+func (r *Rank) TryBcast(v memsim.View, root int) error {
+	return r.tryColl("Bcast", func() { r.Bcast(v, root) })
+}
+
+// TryScatter is Scatter returning an error instead of aborting.
+func (r *Rank) TryScatter(send, recv memsim.View, root int) error {
+	return r.tryColl("Scatter", func() { r.Scatter(send, recv, root) })
+}
+
+// TryGather is Gather returning an error instead of aborting.
+func (r *Rank) TryGather(send, recv memsim.View, root int) error {
+	return r.tryColl("Gather", func() { r.Gather(send, recv, root) })
+}
+
+// TryAllgather is Allgather returning an error instead of aborting.
+func (r *Rank) TryAllgather(send, recv memsim.View) error {
+	return r.tryColl("Allgather", func() { r.Allgather(send, recv) })
+}
+
+// TryAlltoall is Alltoall returning an error instead of aborting.
+func (r *Rank) TryAlltoall(send, recv memsim.View) error {
+	return r.tryColl("Alltoall", func() { r.Alltoall(send, recv) })
+}
+
+// TryReduce is Reduce returning an error instead of aborting.
+func (r *Rank) TryReduce(send, recv memsim.View, op ReduceOp, root int) error {
+	return r.tryColl("Reduce", func() { r.Reduce(send, recv, op, root) })
+}
+
+// TryAllreduce is Allreduce returning an error instead of aborting.
+func (r *Rank) TryAllreduce(send, recv memsim.View, op ReduceOp) error {
+	return r.tryColl("Allreduce", func() { r.Allreduce(send, recv, op) })
+}

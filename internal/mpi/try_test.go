@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/topology"
+)
+
+// abortColl panics out of Bcast the way components abort on unrecoverable
+// errors; everything else completes silently.
+type abortColl struct{}
+
+func (abortColl) Name() string    { return "abort" }
+func (abortColl) Barrier(r *Rank) {}
+func (abortColl) Bcast(r *Rank, v memsim.View, root int) {
+	panic("abort: broadcast cannot complete")
+}
+func (abortColl) Scatter(r *Rank, send, recv memsim.View, root int) {}
+func (abortColl) Gather(r *Rank, send, recv memsim.View, root int)  {}
+func (abortColl) Allgather(r *Rank, send, recv memsim.View)         {}
+func (abortColl) Alltoall(r *Rank, send, recv memsim.View)          {}
+func (abortColl) Gatherv(r *Rank, send, recv memsim.View, rcounts, rdispls []int64, root int) {
+}
+func (abortColl) Scatterv(r *Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, root int) {
+}
+func (abortColl) Allgatherv(r *Rank, send, recv memsim.View, rcounts, rdispls []int64) {}
+func (abortColl) Alltoallv(r *Rank, send memsim.View, scounts, sdispls []int64, recv memsim.View, rcounts, rdispls []int64) {
+}
+func (abortColl) Reduce(r *Rank, send, recv memsim.View, op ReduceOp, root int) {}
+func (abortColl) Allreduce(r *Rank, send, recv memsim.View, op ReduceOp)        {}
+func (abortColl) ReduceScatterBlock(r *Rank, send, recv memsim.View, op ReduceOp) {
+	panic(errors.New("abort: reduce-scatter cannot complete"))
+}
+
+func TestTryCollConvertsAbortToError(t *testing.T) {
+	_, _, err := Run(Options{
+		Machine: topology.Dancer(), NP: 1, WithData: true,
+		Coll: func(w *World) Coll { return abortColl{} },
+	}, func(r *Rank) {
+		if err := r.TryBarrier(); err != nil {
+			t.Errorf("TryBarrier on a clean collective: %v", err)
+		}
+		b := r.Alloc(64)
+		err := r.TryBcast(b.Whole(), 0)
+		var ce *CollError
+		if !errors.As(err, &ce) {
+			t.Fatalf("TryBcast returned %v, want *CollError", err)
+		}
+		if ce.Op != "Bcast" || ce.Rank != 0 {
+			t.Errorf("CollError = {%q, %d}, want {Bcast, 0}", ce.Op, ce.Rank)
+		}
+		if !strings.Contains(ce.Error(), "broadcast cannot complete") {
+			t.Errorf("error message %q lost the abort reason", ce.Error())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Non-string, non-error panic values are the simulator's own control flow
+// and must pass through tryColl untouched.
+func TestTryCollReraisesControlPanics(t *testing.T) {
+	_, _, err := Run(Options{
+		Machine: topology.Dancer(), NP: 1, WithData: true,
+		Coll: func(w *World) Coll { return abortColl{} },
+	}, func(r *Rank) {
+		defer func() {
+			if p := recover(); p != 42 {
+				t.Errorf("recovered %v, want the original control panic 42", p)
+			}
+		}()
+		r.tryColl("X", func() { panic(42) })
+		t.Error("tryColl swallowed a control panic")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,16 @@ type Stats struct {
 	Registrations int64 // KNEM region creations
 	CtrlMsgs      int64 // out-of-band control messages
 	LinkBytes     map[string]int64
+
+	// Fault-injection counters (zero unless a fault.Plan is active).
+	FaultsInjected int64 // discrete faults injected by the plan
+	CreateFaults   int64 // failed region registrations (ENOMEM/EAGAIN)
+	CopyFaults     int64 // failed copies (EAGAIN/invalidated cookie)
+	DMAFaults      int64 // failed or stalled DMA submissions
+	Invalidations  int64 // live regions destroyed by cookie invalidation
+	Retries        int64 // transient faults retried by the component
+	Fallbacks      int64 // operations degraded to a non-KNEM delivery path
+	Resends        int64 // blocks re-delivered over p2p after a fault
 }
 
 // AddLinkBytes accounts payload bytes crossing the named link.
@@ -41,6 +51,10 @@ func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "copies=%d bytes=%d cacheHits=%d cacheMisses=%d traps=%d regs=%d ctrl=%d",
 		s.Copies, s.BytesCopied, s.CacheHits, s.CacheMisses, s.KernelTraps, s.Registrations, s.CtrlMsgs)
+	if s.FaultsInjected != 0 || s.Retries != 0 || s.Fallbacks != 0 || s.Resends != 0 {
+		fmt.Fprintf(&b, " faults=%d createFaults=%d copyFaults=%d dmaFaults=%d invalidations=%d retries=%d fallbacks=%d resends=%d",
+			s.FaultsInjected, s.CreateFaults, s.CopyFaults, s.DMAFaults, s.Invalidations, s.Retries, s.Fallbacks, s.Resends)
+	}
 	if len(s.LinkBytes) > 0 {
 		names := make([]string, 0, len(s.LinkBytes))
 		for n := range s.LinkBytes {
