@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race vet fuzz-short bench figures table1 results clean
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke figures table1 results clean
 
 all: test vet
 
@@ -23,14 +23,21 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzParseMachine -fuzztime=10s ./internal/topology
 
 bench:
-	GOMAXPROCS=1 $(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -bench=. -benchmem -benchtime=100ms ./internal/sim ./internal/memsim
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
-# Regenerate every recorded artifact under results/.
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) run ./cmd/simbench -short -o BENCH_sim.json
+
+# Regenerate every recorded artifact under results/. Output is byte-identical
+# at any -parallel level (see internal/bench/parallel.go); the sweeps are
+# pinned to -parallel 4 so multi-core hosts regenerate faster.
 results:
-	GOMAXPROCS=1 $(GO) run ./cmd/imb -fig all -iters 1 > results/figures.txt
-	GOMAXPROCS=1 $(GO) run ./cmd/asp -sample 512 > results/table1.txt
-	GOMAXPROCS=1 $(GO) run ./cmd/imb -ablation -iters 2 > results/ablations.txt
-	GOMAXPROCS=1 $(GO) run ./cmd/imb -scalability -machine IG -op bcast -sizes 1M -iters 2 > results/scalability.txt
+	$(GO) run ./cmd/imb -parallel 4 -fig all -iters 1 > results/figures.txt
+	$(GO) run ./cmd/asp -parallel 4 -sample 512 > results/table1.txt
+	$(GO) run ./cmd/imb -parallel 4 -ablation -iters 2 > results/ablations.txt
+	$(GO) run ./cmd/imb -parallel 4 -scalability -machine IG -op bcast -sizes 1M -iters 2 > results/scalability.txt
 
 clean:
 	$(GO) clean ./...

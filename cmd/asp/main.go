@@ -28,7 +28,9 @@ func main() {
 	n := flag.Int("n", 0, "matrix dimension (default: paper scale per machine)")
 	sample := flag.Int("sample", 512, "iterations to simulate and scale up (0 = all)")
 	verify := flag.Bool("verify", false, "run with real data and verify against the sequential solver")
+	parallel := flag.Int("parallel", 1, "concurrent simulation cells (results are identical at any level)")
 	flag.Parse()
+	bench.SetParallel(*parallel)
 
 	if *verify {
 		runVerify(*n)

@@ -32,6 +32,7 @@ func main() {
 	np := flag.Int("np", 0, "ranks (default: all cores)")
 	sizes := flag.String("sizes", "", "comma-separated sizes for ad-hoc sweeps (e.g. 32K,1M,8M)")
 	iters := flag.Int("iters", 3, "measured iterations per point")
+	parallel := flag.Int("parallel", 1, "concurrent measurement cells; output is byte-identical at any level")
 	asJSON := flag.Bool("json", false, "emit figures as JSON instead of tables")
 	comps := flag.String("comps", "", "comma-separated components for ad-hoc sweeps (default: the paper's five); options: Tuned-SM, Tuned-KNEM, MPICH2-SM, MPICH2-KNEM, KNEM-Coll, Basic-SM, SM-Coll")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for probabilistic fault draws (reproducible schedules)")
@@ -43,6 +44,7 @@ func main() {
 	faultLink := flag.String("fault-link", "", "comma-separated link:scale degradations (e.g. bus0:0.5)")
 	flag.Parse()
 	jsonOut = *asJSON
+	bench.SetParallel(*parallel)
 	plan := buildPlan(*faultSeed, *faultCreate, *faultPin, *faultInval, *faultCopyTr, *faultStrag, *faultLink)
 
 	switch {
@@ -176,13 +178,21 @@ func runSweep(op, machine string, np int, sizeList string, iters int, compList s
 		Baseline: "KNEM-Coll",
 		Sizes:    szs,
 	}
-	for _, c := range pickComps(compList) {
-		s := bench.Series{Label: c.Name, Seconds: map[int64]float64{}}
+	comps := pickComps(compList)
+	var cfgs []bench.Config
+	for _, c := range comps {
 		for _, sz := range szs {
-			res := bench.MustMeasure(bench.Config{
+			cfgs = append(cfgs, bench.Config{
 				Machine: m, NP: np, Comp: c, Op: bench.Op(op), Size: sz,
 				Iters: iters, OffCache: true, Fault: plan,
 			})
+		}
+	}
+	results := bench.MeasureAll(cfgs)
+	for i, c := range comps {
+		s := bench.Series{Label: c.Name, Seconds: map[int64]float64{}}
+		for j, sz := range szs {
+			res := results[i*len(szs)+j]
 			s.Seconds[sz] = res.Seconds
 			if plan != nil {
 				fmt.Printf("# %s %s size=%d: %s\n", c.Name, op, sz, res.Stats.String())

@@ -1,0 +1,233 @@
+// Command simbench records the simulator's performance trajectory as
+// BENCH_sim.json: ns/op and allocs/op for the hot paths (flow churn under
+// contention, event scheduling, process handoff) plus the wall-clock time
+// of a reference sweep run sequentially and with four concurrent
+// measurement cells.
+//
+// The emitted file carries the host's CPU count so speedup numbers can be
+// judged honestly: on a single-CPU runner the parallel sweep cannot beat
+// the sequential one no matter how good the runner is. The allocs/op and
+// ns/op trajectory against the recorded pre-optimization baseline is
+// machine-independent.
+//
+// Usage:
+//
+//	simbench                 # full run, JSON on stdout
+//	simbench -short          # CI smoke: 1-iteration sweep, -benchtime=10000x
+//	simbench -o BENCH_sim.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+const MB = 1 << 20
+
+// Report is the BENCH_sim.json schema ("bench_sim/v1").
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go"`
+	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Short      bool        `json:"short"`
+	Benchmarks []BenchLine `json:"benchmarks"`
+	Sweep      SweepLine   `json:"sweep"`
+	Baseline   []BenchLine `json:"baseline_pre_optimization"`
+}
+
+// BenchLine is one micro-benchmark result (or recorded baseline).
+type BenchLine struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// SweepLine is the reference sweep (imb -op bcast -machine IG) measured
+// sequentially and with four concurrent cells. Speedup > 1 requires real
+// parallelism; on cpus=1 expect ~1.0 (the point of recording cpus).
+type SweepLine struct {
+	Op         string  `json:"op"`
+	Machine    string  `json:"machine"`
+	Iters      int     `json:"iters"`
+	Cells      int     `json:"cells"`
+	Sequential float64 `json:"seconds_sequential"`
+	Parallel4  float64 `json:"seconds_parallel4"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// baseline numbers measured on this codebase immediately before the
+// allocation-free solver + pooled-event optimizations (same scenarios,
+// benchtime 200ms, GOMAXPROCS=1). Kept in the report so any future run
+// shows the trajectory without digging through git history.
+var baseline = []BenchLine{
+	{Name: "memsim/copy_churn_64KiB", NsPerOp: 5278, AllocsPerOp: 34, BytesPerOp: 2772},
+	{Name: "sim/schedule_fire", NsPerOp: 67.4, AllocsPerOp: 1, BytesPerOp: 80},
+	{Name: "sim/park_wake", NsPerOp: 1218, AllocsPerOp: 4, BytesPerOp: 248},
+	{Name: "memsim/recompute_rates_flows48", NsPerOp: 15690, AllocsPerOp: 11, BytesPerOp: 3176},
+	{Name: "memsim/reschedule_flows48", NsPerOp: 13399, AllocsPerOp: 13, BytesPerOp: 3560},
+}
+
+func main() {
+	short := flag.Bool("short", false, "CI smoke mode: tiny sweep, capped benchtime")
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	rep := Report{
+		Schema:     "bench_sim/v1",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      *short,
+		Baseline:   baseline,
+	}
+
+	// testing.Benchmark self-calibrates to ~1s per scenario — short
+	// enough that even the CI smoke job runs the full micro set; -short
+	// only trims the sweep below.
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Benchmarks = append(rep.Benchmarks, BenchLine{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	run("memsim/copy_churn_64KiB", benchCopyChurn)
+	run("sim/schedule_fire", benchScheduleFire)
+	run("sim/park_wake", benchParkWake)
+
+	rep.Sweep = measureSweep(*short)
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchCopyChurn is the end-to-end flow lifecycle under contention: each op
+// is one 64 KiB copy (flow start, two rate recomputations, completion
+// dispatch) with a second copy stream keeping the shared links loaded.
+func benchCopyChurn(b *testing.B) {
+	m := topology.IG()
+	e := sim.NewEngine()
+	n := memsim.New(e, m, nil)
+	src := n.Alloc(m.Domains[0], MB, false)
+	dst := n.Alloc(m.Domains[1], MB, false)
+	src2 := n.Alloc(m.Domains[2], MB, false)
+	dst2 := n.Alloc(m.Domains[3], MB, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Spawn("bg", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.Copy(p, m.Cores[12], dst2.View(0, 64<<10), src2.View(0, 64<<10))
+		}
+	})
+	e.Spawn("fg", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.Copy(p, m.Cores[0], dst.View(0, 64<<10), src.View(0, 64<<10))
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchScheduleFire is the engine's bare event lifecycle.
+func benchScheduleFire(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1e-9, tick)
+		}
+	}
+	e.Schedule(1e-9, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchParkWake is one process handoff per op: a parked process woken by
+// another, the primitive under every message and copy completion.
+func benchParkWake(b *testing.B) {
+	e := sim.NewEngine()
+	var waiter *sim.Proc
+	b.ReportAllocs()
+	b.ResetTimer()
+	waiter = e.Spawn("waiter", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Park("bench")
+		}
+	})
+	e.Spawn("waker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			waiter.Wake()
+			p.Wait(1e-9)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// measureSweep times the reference sweep — Broadcast across the paper's
+// five components on IG — sequentially and with four concurrent cells.
+func measureSweep(short bool) SweepLine {
+	m := topology.IG()
+	sizes := bench.PaperSizes()
+	comps := bench.PaperComponents()
+	if short {
+		sizes = []int64{64 * bench.KiB, 1 * bench.MiB}
+		comps = comps[:2]
+	}
+	var cfgs []bench.Config
+	for _, c := range comps {
+		for _, sz := range sizes {
+			cfgs = append(cfgs, bench.Config{
+				Machine: m, Comp: c, Op: bench.OpBcast, Size: sz,
+				Iters: 1, OffCache: true,
+			})
+		}
+	}
+	timeIt := func(par int) float64 {
+		bench.SetParallel(par)
+		defer bench.SetParallel(1)
+		start := time.Now()
+		bench.MeasureAll(cfgs)
+		return time.Since(start).Seconds()
+	}
+	seq := timeIt(1)
+	par := timeIt(4)
+	return SweepLine{
+		Op: "bcast", Machine: m.Name, Iters: 1, Cells: len(cfgs),
+		Sequential: seq, Parallel4: par, Speedup: seq / par,
+	}
+}

@@ -21,81 +21,86 @@ type AblationRow struct {
 	Speedup float64 // A/B: how much the design choice (B) wins
 }
 
-// RunAblations measures every documented design choice.
+// RunAblations measures every documented design choice. The independent
+// measurements all run as cells on the shared worker pool (SetParallel);
+// the rows are assembled in their historical order afterwards.
 func RunAblations(iters int) []AblationRow {
 	ig := topology.IG()
+	cfgs := []Config{
+		// 1. Broadcast topology (§IV): linear vs hierarchical vs pipelined.
+		{Machine: ig, Comp: KNEMCollCfg("lin", core.Config{Mode: core.ModeLinear}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true},
+		{Machine: ig, Comp: KNEMCollCfg("hier", core.Config{Mode: core.ModeHierarchical, NoPipeline: true}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true},
+		{Machine: ig, Comp: KNEMCollCfg("pipe", core.Config{Mode: core.ModeHierarchical}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true},
+		// 1b. Multi-level tree (the paper's future work): boards, then NUMA
+		// domains, then cores.
+		{Machine: ig, Comp: KNEMCollCfg("multi", core.Config{Mode: core.ModeMultiLevel}), Op: OpBcast, Size: 8 * MiB, Iters: iters, OffCache: true},
+		{Machine: ig, Comp: KNEMCollCfg("pipe8", core.Config{Mode: core.ModeHierarchical}), Op: OpBcast, Size: 8 * MiB, Iters: iters, OffCache: true},
+		// 2. Allgather composition vs ring (§VI-D).
+		{Machine: ig, Comp: KNEMCollCfg("g+b", core.Config{}), Op: OpAllgather, Size: 256 * KiB, Iters: iters, OffCache: true},
+		{Machine: ig, Comp: KNEMCollCfg("ring", core.Config{RingAllgather: true}), Op: OpAllgather, Size: 256 * KiB, Iters: iters, OffCache: true},
+		// 3. Direction control (§III-B): gather with sender-writes vs the
+		// same pattern forced through receiver-side p2p (Tuned-KNEM).
+		{Machine: ig, Comp: KNEMColl(), Op: OpGather, Size: 256 * KiB, Iters: iters, OffCache: true},
+		{Machine: ig, Comp: TunedKNEM(), Op: OpGather, Size: 256 * KiB, Iters: iters, OffCache: true},
+		// 4. Related work (§II): the Graham et al. fan-in/fan-out SM tree —
+		// topology-oblivious and double-copying — against KNEM-Coll.
+		{Machine: ig, Comp: SMColl(), Op: OpBcast, Size: 1 * MiB, Iters: iters, OffCache: true},
+		{Machine: ig, Comp: KNEMColl(), Op: OpBcast, Size: 1 * MiB, Iters: iters, OffCache: true},
+	}
+	// 5. Lazy root synchronization under skew: a straggling receiver
+	// arrives 1 ms late; the strict root absorbs it, the lazy one does not.
+	secs := make([]float64, len(cfgs)+2)
+	runCells(len(cfgs)+2, func(i int) {
+		if i < len(cfgs) {
+			secs[i] = MustMeasure(cfgs[i]).Seconds
+			return
+		}
+		secs[i] = lazySyncMeasure(i == len(cfgs)+1)
+	})
+
+	lin, hier, pipe, multi, pipe8 := secs[0], secs[1], secs[2], secs[3], secs[4]
+	comp, ring, dirOn, dirOff, smc, knm := secs[5], secs[6], secs[7], secs[8], secs[9], secs[10]
+	strict, lazy := secs[len(cfgs)], secs[len(cfgs)+1]
 	rows := []AblationRow{}
 	add := func(name, a, b string, sa, sb float64) {
 		rows = append(rows, AblationRow{Name: name, A: a, B: b, SecsA: sa, SecsB: sb, Speedup: sa / sb})
 	}
-
-	// 1. Broadcast topology (§IV): linear vs hierarchical vs pipelined.
-	lin := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("lin", core.Config{Mode: core.ModeLinear}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true})
-	hier := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("hier", core.Config{Mode: core.ModeHierarchical, NoPipeline: true}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true})
-	pipe := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("pipe", core.Config{Mode: core.ModeHierarchical}), Op: OpBcast, Size: 2 * MiB, Iters: iters, OffCache: true})
-	add("bcast topology (IG, 2MiB)", "linear", "hierarchical", lin.Seconds, hier.Seconds)
-	add("bcast pipelining (IG, 2MiB)", "no pipeline", "pipelined", hier.Seconds, pipe.Seconds)
-
-	// 1b. Multi-level tree (the paper's future work): boards, then NUMA
-	// domains, then cores.
-	multi := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("multi", core.Config{Mode: core.ModeMultiLevel}), Op: OpBcast, Size: 8 * MiB, Iters: iters, OffCache: true})
-	pipe8 := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("pipe8", core.Config{Mode: core.ModeHierarchical}), Op: OpBcast, Size: 8 * MiB, Iters: iters, OffCache: true})
-	add("bcast tree depth (IG, 8MiB)", "2-level (paper)", "3-level (future work)", pipe8.Seconds, multi.Seconds)
-
-	// 2. Allgather composition vs ring (§VI-D).
-	comp := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("g+b", core.Config{}), Op: OpAllgather, Size: 256 * KiB, Iters: iters, OffCache: true})
-	ring := MustMeasure(Config{Machine: ig, Comp: KNEMCollCfg("ring", core.Config{RingAllgather: true}), Op: OpAllgather, Size: 256 * KiB, Iters: iters, OffCache: true})
-	add("allgather (IG, 256KiB blocks)", "gather+bcast", "ring", comp.Seconds, ring.Seconds)
-
-	// 3. Direction control (§III-B): gather with sender-writes vs the same
-	// pattern forced through receiver-side point-to-point (Tuned-KNEM).
-	dirOn := MustMeasure(Config{Machine: ig, Comp: KNEMColl(), Op: OpGather, Size: 256 * KiB, Iters: iters, OffCache: true})
-	dirOff := MustMeasure(Config{Machine: ig, Comp: TunedKNEM(), Op: OpGather, Size: 256 * KiB, Iters: iters, OffCache: true})
-	add("gather direction control (IG)", "p2p (root copies)", "sender-writes", dirOff.Seconds, dirOn.Seconds)
-
-	// 4. Related work (§II): the Graham et al. fan-in/fan-out SM tree —
-	// topology-oblivious and double-copying — against KNEM-Coll.
-	smc := MustMeasure(Config{Machine: ig, Comp: SMColl(), Op: OpBcast, Size: 1 * MiB, Iters: iters, OffCache: true})
-	knm := MustMeasure(Config{Machine: ig, Comp: KNEMColl(), Op: OpBcast, Size: 1 * MiB, Iters: iters, OffCache: true})
-	add("vs Graham SM tree (IG bcast 1MiB)", "SM fan-out", "KNEM hierarchy", smc.Seconds, knm.Seconds)
-
-	// 5. Lazy root synchronization under skew: a straggling receiver
-	// arrives 1 ms late; the strict root absorbs it, the lazy one does not.
-	rows = append(rows, lazySyncAblation())
+	add("bcast topology (IG, 2MiB)", "linear", "hierarchical", lin, hier)
+	add("bcast pipelining (IG, 2MiB)", "no pipeline", "pipelined", hier, pipe)
+	add("bcast tree depth (IG, 8MiB)", "2-level (paper)", "3-level (future work)", pipe8, multi)
+	add("allgather (IG, 256KiB blocks)", "gather+bcast", "ring", comp, ring)
+	add("gather direction control (IG)", "p2p (root copies)", "sender-writes", dirOff, dirOn)
+	add("vs Graham SM tree (IG bcast 1MiB)", "SM fan-out", "KNEM hierarchy", smc, knm)
+	add("root sync under 1ms straggler", "strict (§V-B)", "lazy (§III-B)", strict, lazy)
 	return rows
 }
 
-func lazySyncAblation() AblationRow {
+// lazySyncMeasure times the root's Bcast exposure to a 1 ms straggler under
+// strict or lazy root synchronization.
+func lazySyncMeasure(lazy bool) float64 {
 	m := topology.Dancer()
-	measure := func(lazy bool) float64 {
-		var rootTime float64
-		_, _, err := mpi.Run(mpi.Options{
-			Machine: m,
-			Coll: func(w *mpi.World) mpi.Coll {
-				return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear, LazySync: lazy})
-			},
-		}, func(r *mpi.Rank) {
-			b := r.Alloc(1 << 20)
-			if r.ID() == 7 {
-				r.Sleep(1e-3)
-			}
-			t0 := r.Now()
-			r.Bcast(b.Whole(), 0)
-			if r.ID() == 0 {
-				rootTime = r.Now() - t0
-			}
-			r.Barrier()
-		})
-		if err != nil {
-			panic(err)
+	var rootTime float64
+	_, _, err := mpi.Run(mpi.Options{
+		Machine: m,
+		Coll: func(w *mpi.World) mpi.Coll {
+			return core.NewWithConfig(w, core.Config{Mode: core.ModeLinear, LazySync: lazy})
+		},
+	}, func(r *mpi.Rank) {
+		b := r.Alloc(1 << 20)
+		if r.ID() == 7 {
+			r.Sleep(1e-3)
 		}
-		return rootTime
+		t0 := r.Now()
+		r.Bcast(b.Whole(), 0)
+		if r.ID() == 0 {
+			rootTime = r.Now() - t0
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		panic(err)
 	}
-	a, b := measure(false), measure(true)
-	return AblationRow{
-		Name: "root sync under 1ms straggler", A: "strict (§V-B)", B: "lazy (§III-B)",
-		SecsA: a, SecsB: b, Speedup: a / b,
-	}
+	return rootTime
 }
 
 // RenderAblations prints the table.

@@ -35,17 +35,25 @@ type Figure struct {
 	Panels []Panel
 }
 
-// sweep measures comps × sizes on one machine for one op.
+// sweep measures comps × sizes on one machine for one op. Cells run on the
+// shared worker pool (SetParallel) and are assembled comp-major in index
+// order, so the output is independent of the parallelism level.
 func sweep(m *topology.Machine, np int, op Op, comps []Comp, sizes []int64, iters int, offCache bool) []Series {
-	out := make([]Series, len(comps))
-	for i, c := range comps {
-		out[i] = Series{Label: c.Name, Seconds: make(map[int64]float64)}
+	cfgs := make([]Config, 0, len(comps)*len(sizes))
+	for _, c := range comps {
 		for _, sz := range sizes {
-			res := MustMeasure(Config{
+			cfgs = append(cfgs, Config{
 				Machine: m, NP: np, Comp: c, Op: op, Size: sz,
 				Iters: iters, OffCache: offCache,
 			})
-			out[i].Seconds[sz] = res.Seconds
+		}
+	}
+	results := MeasureAll(cfgs)
+	out := make([]Series, len(comps))
+	for i, c := range comps {
+		out[i] = Series{Label: c.Name, Seconds: make(map[int64]float64)}
+		for j, sz := range sizes {
+			out[i].Seconds[sz] = results[i*len(sizes)+j].Seconds
 		}
 	}
 	return out

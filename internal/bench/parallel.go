@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep layer is embarrassingly parallel: every Measure cell owns a
+// private sim.Engine, memsim.Net, and trace.Stats, and only reads the
+// shared *topology.Machine (immutable after Build). Cells therefore run
+// concurrently on a worker pool, while results are always assembled in
+// cell-index order — so every rendered table is byte-identical to the
+// sequential run regardless of the parallelism level.
+
+// parallelism is the worker count used by runCells; 1 means sequential.
+var parallelism atomic.Int32
+
+// SetParallel sets the number of measurement cells run concurrently by the
+// sweep builders (figures, scalability, ablations, Table 1). n < 1 is
+// treated as 1 (sequential, the default).
+func SetParallel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallel returns the current sweep parallelism level.
+func Parallel() int {
+	if p := parallelism.Load(); p > 1 {
+		return int(p)
+	}
+	return 1
+}
+
+// runCells executes fn(0..n-1), each call measuring one independent cell
+// that writes only to its own result slot. With parallelism 1 the cells run
+// in index order on the calling goroutine, exactly like the historical
+// sequential sweeps; otherwise a worker pool drains the index space. A
+// panic in any cell (MustMeasure on a deadlocked simulation) is re-raised
+// on the caller after all workers stop.
+func runCells(n int, fn func(i int)) {
+	workers := Parallel()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(fmt.Sprintf("bench: parallel cell failed: %v", panicV))
+	}
+}
+
+// MeasureAll runs every config as one cell on the worker pool and returns
+// the results in input order; it panics if any cell's simulation fails.
+func MeasureAll(cfgs []Config) []Result {
+	out := make([]Result, len(cfgs))
+	runCells(len(cfgs), func(i int) {
+		out[i] = MustMeasure(cfgs[i])
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestParallelSweepByteIdentical runs a small Fig5-style sweep (Broadcast,
+// three components, two sizes) sequentially and at -parallel 4, and
+// asserts the rendered panels are byte-identical. Under `go test -race`
+// (make test-race) this also proves the worker pool shares nothing mutable
+// between cells beyond the immutable machine model.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	render := func(par int) string {
+		SetParallel(par)
+		defer SetParallel(1)
+		m := topology.Dancer()
+		sizes := []int64{64 * KiB, 256 * KiB}
+		p := Panel{
+			Title:    "Broadcast on Dancer",
+			Machine:  m.Name,
+			Baseline: "KNEM-Coll",
+			Sizes:    sizes,
+			Series:   sweep(m, m.NCores(), OpBcast, []Comp{TunedSM(), MPICH2SM(), KNEMColl()}, sizes, 1, true),
+		}
+		var sb strings.Builder
+		p.Render(&sb)
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("parallel sweep output differs from sequential:\n--- parallel=1\n%s\n--- parallel=4\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "KNEM-Coll") {
+		t.Fatal("sweep output missing series")
+	}
+}
+
+// TestRunCellsCoversAllIndices checks the pool visits every cell exactly
+// once and honors the clamped parallelism level.
+func TestRunCellsCoversAllIndices(t *testing.T) {
+	SetParallel(3)
+	defer SetParallel(1)
+	if Parallel() != 3 {
+		t.Fatalf("Parallel() = %d, want 3", Parallel())
+	}
+	var hits [100]atomic.Int32
+	runCells(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("cell %d ran %d times", i, got)
+		}
+	}
+	SetParallel(0) // clamps to sequential
+	if Parallel() != 1 {
+		t.Fatalf("Parallel() after SetParallel(0) = %d, want 1", Parallel())
+	}
+}
+
+// TestRunCellsPropagatesPanic: a failed cell must fail the sweep, not be
+// swallowed by a worker goroutine.
+func TestRunCellsPropagatesPanic(t *testing.T) {
+	SetParallel(4)
+	defer SetParallel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in a cell was swallowed")
+		}
+	}()
+	runCells(8, func(i int) {
+		if i == 5 {
+			panic("cell exploded")
+		}
+	})
+}

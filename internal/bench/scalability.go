@@ -22,21 +22,29 @@ type Scalability struct {
 	order   []string
 }
 
-// RunScalability sweeps rank counts on machine m for one operation.
+// RunScalability sweeps rank counts on machine m for one operation. The
+// comps × ranks cells run on the shared worker pool (SetParallel) and are
+// assembled in deterministic order.
 func RunScalability(m *topology.Machine, op Op, size int64, ranks []int, comps []Comp, iters int) Scalability {
 	s := Scalability{
 		Machine: m.Name, Op: op, Size: size, Ranks: ranks,
 		Seconds: make(map[string]map[int]float64),
 	}
+	cfgs := make([]Config, 0, len(comps)*len(ranks))
 	for _, c := range comps {
-		s.order = append(s.order, c.Name)
-		s.Seconds[c.Name] = make(map[int]float64)
 		for _, np := range ranks {
-			res := MustMeasure(Config{
+			cfgs = append(cfgs, Config{
 				Machine: m, NP: np, Comp: c, Op: op, Size: size,
 				Iters: iters, OffCache: true,
 			})
-			s.Seconds[c.Name][np] = res.Seconds
+		}
+	}
+	results := MeasureAll(cfgs)
+	for i, c := range comps {
+		s.order = append(s.order, c.Name)
+		s.Seconds[c.Name] = make(map[int]float64)
+		for j, np := range ranks {
+			s.Seconds[c.Name][np] = results[i*len(ranks)+j].Seconds
 		}
 	}
 	return s

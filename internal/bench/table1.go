@@ -49,7 +49,10 @@ func tunedNew(w *mpi.World) mpi.Coll { return TunedSM().New(w) }
 // and scaled (sample <= 0 simulates every iteration).
 func RunTable1(m *topology.Machine, n, sample int) Table1Result {
 	res := Table1Result{Machine: m.Name, N: n, NP: m.NCores()}
-	for _, c := range table1Comps() {
+	comps := table1Comps()
+	res.Rows = make([]Table1Row, len(comps))
+	runCells(len(comps), func(i int) {
+		c := comps[i]
 		var bcast, total float64
 		_, _, err := mpi.Run(mpi.Options{
 			Machine: m,
@@ -68,8 +71,8 @@ func RunTable1(m *topology.Machine, n, sample int) Table1Result {
 		if err != nil {
 			panic(fmt.Sprintf("bench: table1 %s/%s: %v", m.Name, c.Name, err))
 		}
-		res.Rows = append(res.Rows, Table1Row{Comp: c.Name, Bcast: bcast, Total: total})
-	}
+		res.Rows[i] = Table1Row{Comp: c.Name, Bcast: bcast, Total: total}
+	})
 	bestBcast, bestTotal := res.Rows[0].Bcast, res.Rows[0].Total
 	for _, row := range res.Rows[:len(res.Rows)-1] {
 		if row.Bcast < bestBcast {

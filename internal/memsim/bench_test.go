@@ -1,0 +1,84 @@
+package memsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// contended installs nFlows concurrent copies on IG, all crossing shared
+// memory buses and interconnects, without running the engine — the state
+// recomputeRates/reschedule see on every flow event of a dense collective.
+func contended(nFlows int) *Net {
+	m := topology.IG()
+	e := sim.NewEngine()
+	n := New(e, m, nil)
+	for i := 0; i < nFlows; i++ {
+		core := m.Cores[i%m.NCores()]
+		src := n.Alloc(m.Domains[i%len(m.Domains)], MB, false)
+		dst := n.Alloc(m.Domains[(i+1)%len(m.Domains)], MB, false)
+		n.CopyAsync(core, dst.Whole(), src.Whole())
+	}
+	return n
+}
+
+// BenchmarkRecomputeRates is the water-filling solver alone: one full
+// max-min fair rate computation over nFlows contending flows.
+func BenchmarkRecomputeRates(b *testing.B) {
+	for _, nFlows := range []int{4, 16, 48, 96} {
+		b.Run(fmt.Sprintf("flows%d", nFlows), func(b *testing.B) {
+			n := contended(nFlows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.recomputeRates()
+			}
+		})
+	}
+}
+
+// BenchmarkReschedule is the full per-flow-event path: cancel the pending
+// completion, recompute rates, find the next completion, schedule it.
+func BenchmarkReschedule(b *testing.B) {
+	for _, nFlows := range []int{4, 48} {
+		b.Run(fmt.Sprintf("flows%d", nFlows), func(b *testing.B) {
+			n := contended(nFlows)
+			n.reschedule() // warm the event pool and scratch arrays
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.reschedule()
+			}
+		})
+	}
+}
+
+// BenchmarkCopyChurn is the end-to-end flow lifecycle: each op is one
+// 64 KiB copy (startCopy, two rate updates, completion dispatch) with
+// steady background contention from a second in-flight copy stream.
+func BenchmarkCopyChurn(b *testing.B) {
+	m := topology.IG()
+	e := sim.NewEngine()
+	n := New(e, m, nil)
+	src := n.Alloc(m.Domains[0], MB, false)
+	dst := n.Alloc(m.Domains[1], MB, false)
+	src2 := n.Alloc(m.Domains[2], MB, false)
+	dst2 := n.Alloc(m.Domains[3], MB, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Spawn("bg", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.Copy(p, m.Cores[12], dst2.View(0, 64<<10), src2.View(0, 64<<10))
+		}
+	})
+	e.Spawn("fg", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.Copy(p, m.Cores[0], dst.View(0, 64<<10), src.View(0, 64<<10))
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

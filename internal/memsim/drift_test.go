@@ -1,0 +1,83 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The completion instant of every flow is computed in floating point, so a
+// flow may be fractionally below zero bytes when its event fires. advance
+// clamps drift up to finishEps and panics beyond it — a flow finishing with
+// meaningfully negative remaining bytes means the scheduler lost track of
+// it (e.g. a missed reschedule after a rate change), which must never be
+// absorbed silently.
+
+func driftFlow(n *Net, remaining, rate float64, since sim.Time) {
+	f := n.newFlow()
+	f.remaining, f.rate, f.seq = remaining, rate, 999
+	f.uses = append(f.uses, linkUse{link: n.mach.Links[0], idx: 0, mult: 1})
+	n.flows = append(n.flows, f)
+	n.lastUpdate = since
+}
+
+func TestAdvanceClampsSubEpsDrift(t *testing.T) {
+	m := topology.Dancer()
+	_, n := setup(m)
+	// Depletes 2e-4 bytes against 1e-4 remaining: 1e-4 bytes of overshoot,
+	// inside the finishEps tolerance — clamped to exactly zero.
+	driftFlow(n, 1e-4, 1, -2e-4)
+	n.advance()
+	if got := n.flows[0].remaining; got != 0 {
+		t.Fatalf("remaining = %g, want clamp to 0", got)
+	}
+}
+
+func TestAdvanceOvershootBeyondEpsPanics(t *testing.T) {
+	m := topology.Dancer()
+	_, n := setup(m)
+	// A full simulated second at 1 B/s against 1e-4 remaining bytes: ~1
+	// byte of overshoot, far past finishEps — the drift guard must fire.
+	driftFlow(n, 1e-4, 1, -1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("advance absorbed a >finishEps overshoot silently")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overshot completion") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	n.advance()
+}
+
+// TestManyTinyFlowsNoDriftAccumulation is the end-to-end regression: long
+// chains of sub-fragment copies (1..16 bytes) from concurrent producers
+// never trip the overshoot guard, leak a flow, or stall.
+func TestManyTinyFlowsNoDriftAccumulation(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	const perProc = 4000
+	for pi := 0; pi < 3; pi++ {
+		core := m.Cores[pi]
+		src := n.Alloc(m.Domains[0], 64, false)
+		dst := n.Alloc(m.Domains[pi%len(m.Domains)], 64, false)
+		e.Spawn("tiny", func(p *sim.Proc) {
+			for i := 0; i < perProc; i++ {
+				sz := int64(1 + i%16)
+				n.Copy(p, core, dst.View(0, sz), src.View(0, sz))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Busy() != 0 {
+		t.Fatalf("%d flows leaked", n.Busy())
+	}
+	if got := n.Stats().Copies; got != 3*perProc {
+		t.Fatalf("completed %d copies, want %d", got, 3*perProc)
+	}
+}

@@ -25,12 +25,39 @@ type Net struct {
 	completion *sim.Event
 	nextBuf    int64
 	flowSeq    int64
+
+	// onCompletionFn is the completion callback built once so reschedule
+	// allocates no closure.
+	onCompletionFn func()
+
+	// linkWeight[i] is the total multiplicity of the active flows crossing
+	// link i, maintained incrementally on every add/remove. It lets the
+	// solver skip the full water-filling when a flow joins or leaves
+	// without sharing any link with the rest (see addFlow/onCompletion)
+	// and seeds the working weights without a per-flow pass.
+	linkWeight []float64
+
+	// Persistent water-filling scratch (wf*) and startCopy scratch (use*):
+	// sized to len(mach.Links) once, reused on every call so the hot paths
+	// allocate nothing.
+	wfFixed  []float64
+	wfWeight []float64
+	wfSat    []bool
+	useEpoch int64
+	useMark  []int64
+	useMult  []float64
+	useOrder []int
+
+	flowPool []*flow // recycled flow objects, uses-capacity preserved
+	finished []*flow // onCompletion scratch
 }
 
 // linkUse is one link crossed by a flow; mult > 1 when the flow crosses the
 // link more than once (e.g. read and write through the same memory bus).
+// idx caches link.Index so the solver's inner loops stay pointer-free.
 type linkUse struct {
 	link *topology.Link
+	idx  int
 	mult float64
 }
 
@@ -39,6 +66,7 @@ type flow struct {
 	uses      []linkUse
 	remaining float64
 	rate      float64
+	fixed     bool // water-filling working state
 	started   sim.Time
 	pending   *Pending
 	finish    func()
@@ -74,6 +102,14 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	for _, g := range m.Groups {
 		n.caches = append(n.caches, newGroupCache(g))
 	}
+	nl := len(m.Links)
+	n.linkWeight = make([]float64, nl)
+	n.wfFixed = make([]float64, nl)
+	n.wfWeight = make([]float64, nl)
+	n.wfSat = make([]bool, nl)
+	n.useMark = make([]int64, nl)
+	n.useMult = make([]float64, nl)
+	n.onCompletionFn = n.onCompletion
 	return n
 }
 
@@ -172,14 +208,20 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 		reader = n.mach.Domains[dmaDomain(n, engine)].Cores[0]
 	}
 
-	uses := map[*topology.Link]float64{engine: 1}
-	ordered := []*topology.Link{engine}
+	// Accumulate link multiplicities in first-use order through the
+	// persistent epoch-stamped scratch (no per-copy map or slice).
+	n.useEpoch++
+	epoch := n.useEpoch
 	add := func(l *topology.Link) {
-		if _, ok := uses[l]; !ok {
-			ordered = append(ordered, l)
+		i := l.Index
+		if n.useMark[i] != epoch {
+			n.useMark[i] = epoch
+			n.useMult[i] = 0
+			n.useOrder = append(n.useOrder, i)
 		}
-		uses[l]++
+		n.useMult[i]++
 	}
+	add(engine)
 
 	// Read side: from the nearest cache holding the source range clean
 	// (or dirty in the reader's own group); a remote dirty copy is a
@@ -222,12 +264,14 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 		}
 	}
 
-	f := &flow{remaining: float64(src.Len), pending: pe, started: n.eng.Now()}
+	f := n.newFlow()
+	f.remaining, f.pending, f.started = float64(src.Len), pe, n.eng.Now()
 	n.flowSeq++
 	f.seq = n.flowSeq
-	for _, l := range ordered {
-		f.uses = append(f.uses, linkUse{link: l, mult: uses[l]})
+	for _, i := range n.useOrder {
+		f.uses = append(f.uses, linkUse{link: n.mach.Links[i], idx: i, mult: n.useMult[i]})
 	}
+	n.useOrder = n.useOrder[:0]
 
 	n.stats.Copies++
 	n.stats.BytesCopied += src.Len
@@ -274,14 +318,62 @@ func dmaDomain(n *Net, l *topology.Link) int {
 	panic("memsim: unknown DMA link")
 }
 
+// newFlow takes a flow from the pool (uses capacity preserved) or
+// allocates one.
+func (n *Net) newFlow() *flow {
+	if k := len(n.flowPool); k > 0 {
+		f := n.flowPool[k-1]
+		n.flowPool[k-1] = nil
+		n.flowPool = n.flowPool[:k-1]
+		return f
+	}
+	return &flow{}
+}
+
+// freeFlow recycles a completed flow.
+func (n *Net) freeFlow(f *flow) {
+	uses := f.uses[:0]
+	*f = flow{uses: uses}
+	n.flowPool = append(n.flowPool, f)
+}
+
 func (n *Net) addFlow(f *flow) {
 	n.advance()
 	n.flows = append(n.flows, f)
+	// Fast path: a flow sharing no link with any active flow cannot change
+	// the bottleneck set. Its own rate is the min residual share over its
+	// links (exactly what the full water-filling would assign it, since
+	// every one of its links carries zero fixed load and only its own
+	// weight), and every other rate is untouched.
+	disjoint := true
+	for _, u := range f.uses {
+		if n.linkWeight[u.idx] != 0 {
+			disjoint = false
+			break
+		}
+	}
+	for _, u := range f.uses {
+		n.linkWeight[u.idx] += u.mult
+	}
+	if disjoint {
+		rate := math.Inf(1)
+		for _, u := range f.uses {
+			if s := n.linkBW(u.idx) / u.mult; s < rate {
+				rate = s
+			}
+		}
+		f.rate = rate
+		n.scheduleNext()
+		return
+	}
 	n.reschedule()
 }
 
 // advance depletes every flow by the bandwidth it enjoyed since the last
-// update.
+// update. A flow may land fractionally below zero because its completion
+// instant was computed in floating point; anything beyond finishEps of
+// overshoot means the scheduler lost track of a flow and is a bug, not
+// drift, so it panics instead of silently clamping.
 func (n *Net) advance() {
 	now := n.eng.Now()
 	dt := now - n.lastUpdate
@@ -289,6 +381,9 @@ func (n *Net) advance() {
 		for _, f := range n.flows {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
+				if f.remaining < -finishEps {
+					panic(fmt.Sprintf("memsim: flow %d overshot completion by %g bytes", f.seq, -f.remaining))
+				}
 				f.remaining = 0
 			}
 		}
@@ -301,6 +396,15 @@ const finishEps = 1e-3 // bytes; far below any modelled transfer granularity
 // reschedule recomputes max-min fair rates and schedules the next
 // completion event.
 func (n *Net) reschedule() {
+	if len(n.flows) > 0 {
+		n.recomputeRates()
+	}
+	n.scheduleNext()
+}
+
+// scheduleNext (re)schedules the completion event for the earliest-
+// finishing flow under the current rates.
+func (n *Net) scheduleNext() {
 	if n.completion != nil {
 		n.completion.Cancel()
 		n.completion = nil
@@ -308,7 +412,6 @@ func (n *Net) reschedule() {
 	if len(n.flows) == 0 {
 		return
 	}
-	n.recomputeRates()
 	next := math.Inf(1)
 	for _, f := range n.flows {
 		if f.rate <= 0 {
@@ -322,14 +425,14 @@ func (n *Net) reschedule() {
 	if next < 0 {
 		next = 0
 	}
-	n.completion = n.eng.Schedule(next, n.onCompletion)
+	n.completion = n.eng.ScheduleOwned(next, n.onCompletionFn)
 }
 
 func (n *Net) onCompletion() {
 	n.completion = nil
 	n.advance()
 	remaining := n.flows[:0]
-	var finished []*flow
+	finished := n.finished[:0]
 	for _, f := range n.flows {
 		if f.remaining <= finishEps {
 			finished = append(finished, f)
@@ -338,27 +441,60 @@ func (n *Net) onCompletion() {
 		}
 	}
 	n.flows = remaining
+	// Withdraw the finished flows, then check whether the survivors shared
+	// any link with them; if not, the max-min allocation of the survivors
+	// is unchanged and the full water-filling can be skipped.
+	for _, f := range finished {
+		for _, u := range f.uses {
+			n.linkWeight[u.idx] -= u.mult
+		}
+	}
+	disjoint := true
+	for _, f := range finished {
+		for _, u := range f.uses {
+			if n.linkWeight[u.idx] != 0 {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			break
+		}
+	}
 	for _, f := range finished {
 		f.finish()
+	}
+	for i, f := range finished {
+		n.freeFlow(f)
+		finished[i] = nil
+	}
+	n.finished = finished[:0]
+	if disjoint {
+		n.scheduleNext()
+		return
 	}
 	n.reschedule()
 }
 
 // recomputeRates runs progressive filling (water-filling) with per-link
 // multiplicities: raise all unfixed flow rates uniformly until a link
-// saturates, fix the flows crossing it, repeat.
+// saturates, fix the flows crossing it, repeat. All working state lives in
+// persistent scratch arrays on Net, so the solver allocates nothing.
 func (n *Net) recomputeRates() {
 	nl := len(n.mach.Links)
-	fixedLoad := make([]float64, nl)
-	weight := make([]float64, nl)
-	unfixed := make(map[*flow]bool, len(n.flows))
-	for _, f := range n.flows {
-		unfixed[f] = true
-		for _, u := range f.uses {
-			weight[u.link.Index] += u.mult
-		}
+	fixedLoad, weight, saturated := n.wfFixed, n.wfWeight, n.wfSat
+	for i := 0; i < nl; i++ {
+		fixedLoad[i] = 0
 	}
-	for len(unfixed) > 0 {
+	// The working weights start from the incrementally maintained totals;
+	// multiplicities are small integers, so the running sum is exact and
+	// bit-identical to re-accumulating over the flows.
+	copy(weight, n.linkWeight)
+	unfixed := len(n.flows)
+	for _, f := range n.flows {
+		f.fixed = false
+	}
+	for unfixed > 0 {
 		// Find the bottleneck share.
 		share := math.Inf(1)
 		for i := 0; i < nl; i++ {
@@ -378,35 +514,34 @@ func (n *Net) recomputeRates() {
 		}
 		// Identify the links saturated at this share, then fix every
 		// unfixed flow crossing one of them.
-		saturated := make([]bool, nl)
 		for i := 0; i < nl; i++ {
 			if weight[i] <= 0 {
+				saturated[i] = false
 				continue
 			}
 			s := (n.linkBW(i) - fixedLoad[i]) / weight[i]
-			if s <= share*(1+1e-12) {
-				saturated[i] = true
-			}
+			saturated[i] = s <= share*(1+1e-12)
 		}
 		progress := false
 		for _, f := range n.flows {
-			if !unfixed[f] {
+			if f.fixed {
 				continue
 			}
 			bottled := false
 			for _, u := range f.uses {
-				if saturated[u.link.Index] {
+				if saturated[u.idx] {
 					bottled = true
 					break
 				}
 			}
 			if bottled {
 				f.rate = share
-				delete(unfixed, f)
+				f.fixed = true
+				unfixed--
 				progress = true
 				for _, u := range f.uses {
-					fixedLoad[u.link.Index] += share * u.mult
-					weight[u.link.Index] -= u.mult
+					fixedLoad[u.idx] += share * u.mult
+					weight[u.idx] -= u.mult
 				}
 			}
 		}

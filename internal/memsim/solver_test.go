@@ -1,0 +1,178 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// referenceRates is the pre-optimization water-filling solver, kept as the
+// executable specification: straightforward progressive filling over maps,
+// independent of the incremental bookkeeping (linkWeight, fast paths,
+// scratch arrays) the production solver relies on.
+func referenceRates(n *Net) map[*flow]float64 {
+	nl := len(n.mach.Links)
+	fixedLoad := make([]float64, nl)
+	weight := make([]float64, nl)
+	unfixed := make(map[*flow]bool, len(n.flows))
+	rates := make(map[*flow]float64, len(n.flows))
+	for _, f := range n.flows {
+		unfixed[f] = true
+		for _, u := range f.uses {
+			weight[u.link.Index] += u.mult
+		}
+	}
+	for len(unfixed) > 0 {
+		share := math.Inf(1)
+		for i := 0; i < nl; i++ {
+			if weight[i] <= 0 {
+				continue
+			}
+			if s := (n.linkBW(i) - fixedLoad[i]) / weight[i]; s < share {
+				share = s
+			}
+		}
+		if share < 0 {
+			share = 0
+		}
+		saturated := make([]bool, nl)
+		for i := 0; i < nl; i++ {
+			if weight[i] <= 0 {
+				continue
+			}
+			if s := (n.linkBW(i) - fixedLoad[i]) / weight[i]; s <= share*(1+1e-12) {
+				saturated[i] = true
+			}
+		}
+		progress := false
+		for _, f := range n.flows {
+			if !unfixed[f] {
+				continue
+			}
+			bottled := false
+			for _, u := range f.uses {
+				if saturated[u.link.Index] {
+					bottled = true
+					break
+				}
+			}
+			if bottled {
+				rates[f] = share
+				delete(unfixed, f)
+				progress = true
+				for _, u := range f.uses {
+					fixedLoad[u.link.Index] += share * u.mult
+					weight[u.link.Index] -= u.mult
+				}
+			}
+		}
+		if !progress {
+			panic("reference water-filling made no progress")
+		}
+	}
+	return rates
+}
+
+// checkAgainstReference compares every active flow's rate with the
+// brute-force reference and verifies no link is loaded past its capacity.
+func checkAgainstReference(t *testing.T, n *Net, where string) {
+	t.Helper()
+	want := referenceRates(n)
+	for _, f := range n.flows {
+		w := want[f]
+		if math.Abs(f.rate-w) > 1e-9*w {
+			t.Fatalf("%s: flow %d rate %.12e, reference %.12e", where, f.seq, f.rate, w)
+		}
+	}
+	load := make([]float64, len(n.mach.Links))
+	for _, f := range n.flows {
+		for _, u := range f.uses {
+			load[u.idx] += f.rate * u.mult
+		}
+	}
+	for i, l := range load {
+		if bw := n.linkBW(i); l > bw*(1+1e-9) {
+			t.Fatalf("%s: link %s overloaded: %.12e > %.12e", where, n.mach.Links[i].Name, l, bw)
+		}
+	}
+}
+
+// TestSolverMatchesBruteForce drives random copy schedules — random cores,
+// domains, sizes, and start times, so adds and completions interleave and
+// both the incremental fast paths and the full recompute trigger — and
+// checks the production rates against the reference solver at every add.
+func TestSolverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	machines := []*topology.Machine{topology.Dancer(), topology.Saturn(), topology.IG()}
+	for trial := 0; trial < 12; trial++ {
+		m := machines[trial%len(machines)]
+		e, n := setup(m)
+		checks := 0
+		for c := 0; c < 40; c++ {
+			core := m.Cores[rng.Intn(m.NCores())]
+			src := n.Alloc(m.Domains[rng.Intn(len(m.Domains))], 4*MB, false)
+			dst := n.Alloc(m.Domains[rng.Intn(len(m.Domains))], 4*MB, false)
+			size := int64(1 + rng.Intn(1<<20))
+			at := rng.Float64() * 1e-3
+			e.Schedule(at, func() {
+				n.CopyAsync(core, dst.View(0, size), src.View(0, size))
+				checkAgainstReference(t, n, "after add")
+				checks++
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if checks != 40 {
+			t.Fatalf("trial %d: ran %d checks, want 40", trial, checks)
+		}
+		if n.Busy() != 0 {
+			t.Fatalf("trial %d: %d flows leaked", trial, n.Busy())
+		}
+	}
+}
+
+// TestRescheduleAllocationFree pins the tentpole property: after warm-up,
+// a full reschedule — cancel the completion event, rerun water-filling over
+// every flow, schedule the next completion — performs zero allocations.
+func TestRescheduleAllocationFree(t *testing.T) {
+	for _, nFlows := range []int{4, 48} {
+		n := contended(nFlows)
+		n.reschedule() // warm the event pool and scratch
+		if avg := testing.AllocsPerRun(100, func() { n.reschedule() }); avg != 0 {
+			t.Errorf("reschedule with %d flows: %.2f allocs/run, want 0", nFlows, avg)
+		}
+	}
+}
+
+// TestDisjointFastPathExact verifies the incremental fast path bit-for-bit:
+// a flow sharing no link with the active set must get exactly the rate the
+// full solver would assign, with every other rate left untouched.
+func TestDisjointFastPathExact(t *testing.T) {
+	m := topology.Dancer()
+	e, n := setup(m)
+	d0, d1 := m.Domains[0], m.Domains[1]
+	// Two flows contending on domain 0's bus.
+	for i := 0; i < 2; i++ {
+		src := n.Alloc(d0, MB, false)
+		dst := n.Alloc(d0, MB, false)
+		n.CopyAsync(d0.Cores[i], dst.Whole(), src.Whole())
+	}
+	before := []float64{n.flows[0].rate, n.flows[1].rate}
+	// A third flow entirely inside domain 1: no shared link.
+	src := n.Alloc(d1, MB, false)
+	dst := n.Alloc(d1, MB, false)
+	n.CopyAsync(d1.Cores[0], dst.Whole(), src.Whole())
+	if n.flows[0].rate != before[0] || n.flows[1].rate != before[1] {
+		t.Fatal("disjoint add changed unrelated rates")
+	}
+	want := referenceRates(n)
+	for _, f := range n.flows {
+		if f.rate != want[f] {
+			t.Fatalf("flow %d rate %.17g != full solve %.17g", f.seq, f.rate, want[f])
+		}
+	}
+	_ = e
+}

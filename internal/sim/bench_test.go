@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleFire measures the engine's event lifecycle: schedule one
+// callback and drain it, as every flow event and timer does.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1e-9, tick)
+		}
+	}
+	e.Schedule(1e-9, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleOwnedFire is the pooled variant used by the memsim and
+// proc hot paths: the fired event returns to the free list before its
+// callback runs, so a fire→schedule chain reuses one object forever.
+func BenchmarkScheduleOwnedFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.ScheduleOwned(1e-9, tick)
+		}
+	}
+	e.ScheduleOwned(1e-9, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleCancel measures the cancel path: schedule a far-future
+// event and immediately cancel it, the memsim reschedule pattern.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1e3, func() {}).Cancel()
+	}
+}
+
+// BenchmarkParkWake measures one process handoff: a parked process woken by
+// another, the primitive under every message and copy completion.
+func BenchmarkParkWake(b *testing.B) {
+	e := NewEngine()
+	var waiter, waker *Proc
+	b.ReportAllocs()
+	b.ResetTimer()
+	waiter = e.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Park("bench")
+		}
+	})
+	waker = e.Spawn("waker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			waiter.Wake()
+			p.Wait(1e-9)
+		}
+	})
+	_ = waker
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWait measures a bare timer sleep per op.
+func BenchmarkWait(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1e-9)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -23,16 +23,34 @@ type Time = float64
 
 // Event is a handle to a scheduled callback; it can be cancelled.
 type Event struct {
+	eng     *Engine
 	t       Time
 	seq     int64
 	fn      func()
 	dead    bool
+	pooled  bool
 	heapIdx int
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.dead = true; ev.fn = nil }
+// already-cancelled event is a no-op. The event is removed from the queue
+// immediately, so heavy schedule/cancel churn (the memory simulator
+// rescheduling its completion event on every flow change) does not grow
+// the heap with dead entries.
+func (ev *Event) Cancel() {
+	if ev.dead {
+		return
+	}
+	ev.dead = true
+	ev.fn = nil
+	if ev.heapIdx >= 0 {
+		heap.Remove(&ev.eng.events, ev.heapIdx)
+		ev.heapIdx = -1
+		if ev.pooled {
+			ev.eng.recycle(ev)
+		}
+	}
+}
 
 // Time returns the instant the event is scheduled for.
 func (ev *Event) Time() Time { return ev.t }
@@ -62,6 +80,7 @@ func (h *eventHeap) Pop() any {
 	ev := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
+	ev.heapIdx = -1
 	return ev
 }
 
@@ -78,6 +97,8 @@ type Engine struct {
 	current *Proc
 	running bool
 	stopped bool
+
+	free []*Event // pool for owned events (ScheduleOwned)
 
 	fired     int64
 	maxEvents int64
@@ -98,7 +119,20 @@ func (e *Engine) Schedule(d Time, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %g", d))
 	}
-	return e.at(e.now+d, fn)
+	return e.at(e.now+d, fn, false)
+}
+
+// ScheduleOwned is Schedule for hot paths: the returned event comes from a
+// free list and is recycled as soon as it fires or is cancelled. The caller
+// must therefore drop the handle at those points — it may Cancel the event
+// at most once, before it fires, and must not touch the handle afterwards.
+// Callers that cannot guarantee this (e.g. that keep handles past firing)
+// must use Schedule, whose events are never reused.
+func (e *Engine) ScheduleOwned(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: ScheduleOwned with negative delay %g", d))
+	}
+	return e.at(e.now+d, fn, true)
 }
 
 // ScheduleAt registers fn to run at absolute time t (>= Now()).
@@ -106,14 +140,29 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt %g before now %g", t, e.now))
 	}
-	return e.at(t, fn)
+	return e.at(t, fn, false)
 }
 
-func (e *Engine) at(t Time, fn func()) *Event {
+func (e *Engine) at(t Time, fn func(), pooled bool) *Event {
+	var ev *Event
+	if pooled && len(e.free) > 0 {
+		ev = e.free[len(e.free)-1]
+		e.free[len(e.free)-1] = nil
+		e.free = e.free[:len(e.free)-1]
+	} else {
+		ev = &Event{}
+	}
 	e.seq++
-	ev := &Event{t: t, seq: e.seq, fn: fn}
+	ev.eng, ev.t, ev.seq, ev.fn, ev.dead, ev.pooled = e, t, e.seq, fn, false, pooled
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// recycle returns a pooled event to the free list once no live handle may
+// touch it (fired, or cancelled and removed from the heap).
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop aborts the simulation: Run returns after the current event completes.
@@ -171,7 +220,16 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.t
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		ev.dead = true
+		if ev.pooled {
+			// Recycle before running fn so a reschedule chain (fire ->
+			// schedule next) reuses this object with zero allocations.
+			e.recycle(ev)
+		} else {
+			ev.fn = nil
+		}
+		fn()
 		if e.maxEvents > 0 && e.fired >= e.maxEvents {
 			e.killParked()
 			return &WatchdogError{Fired: e.fired, At: e.now}

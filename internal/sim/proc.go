@@ -24,12 +24,25 @@ type Proc struct {
 	state       procState
 	blockReason string
 	killed      bool
+
+	// waitFn and wakeFn are the dispatch callbacks scheduled by Wait and
+	// Wake, built once at Spawn so the hot park/wake path allocates no
+	// closures.
+	waitFn func()
+	wakeFn func()
 }
 
 // Spawn starts fn as a new simulated process at the current time. The name
 // appears in deadlock reports.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p.waitFn = func() { e.dispatch(p) }
+	p.wakeFn = func() {
+		if p.state != procParked {
+			panic("sim: Wake of non-parked process " + p.name)
+		}
+		e.dispatch(p)
+	}
 	e.procs = append(e.procs, p)
 	e.live++
 	go func() {
@@ -51,7 +64,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		e.live--
 		e.yield <- struct{}{}
 	}()
-	e.Schedule(0, func() {
+	e.ScheduleOwned(0, func() {
 		if p.state == procNew {
 			e.dispatch(p)
 		}
@@ -73,7 +86,7 @@ func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Wait with negative duration %g", d))
 	}
-	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.eng.ScheduleOwned(d, p.waitFn)
 	p.Park("waiting")
 }
 
@@ -97,12 +110,7 @@ func (p *Proc) Park(reason string) {
 // Wake schedules p to resume at the current time (after the caller yields).
 // Waking a process that is not parked panics at dispatch time.
 func (p *Proc) Wake() {
-	p.eng.Schedule(0, func() {
-		if p.state != procParked {
-			panic("sim: Wake of non-parked process " + p.name)
-		}
-		p.eng.dispatch(p)
-	})
+	p.eng.ScheduleOwned(0, p.wakeFn)
 }
 
 // Done reports whether the process body has returned.
