@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race vet fuzz-short bench bench-smoke figures table1 results clean
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke figures table1 results tune-smoke clean
 
 all: test vet
 
@@ -21,6 +21,7 @@ vet:
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzVectorRegion -fuzztime=10s ./internal/knem
 	$(GO) test -run=NONE -fuzz=FuzzParseMachine -fuzztime=10s ./internal/topology
+	$(GO) test -run=NONE -fuzz=FuzzDecisionTable -fuzztime=10s ./internal/tune
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=100ms ./internal/sim ./internal/memsim
@@ -38,6 +39,17 @@ results:
 	$(GO) run ./cmd/asp -parallel 4 -sample 512 > results/table1.txt
 	$(GO) run ./cmd/imb -parallel 4 -ablation -iters 2 > results/ablations.txt
 	$(GO) run ./cmd/imb -parallel 4 -scalability -machine IG -op bcast -sizes 1M -iters 2 > results/scalability.txt
+
+# Autotuner smoke: search a tiny grid twice at different parallelism
+# levels, assert the emitted tables are byte-identical, and validate the
+# result (including the committed IG table) with `tune show`.
+tune-smoke:
+	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 1 -q -o /tmp/tune-smoke-a.json
+	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 4 -q -o /tmp/tune-smoke-b.json
+	cmp /tmp/tune-smoke-a.json /tmp/tune-smoke-b.json
+	$(GO) run ./cmd/tune show -machine Zoot /tmp/tune-smoke-a.json > /dev/null
+	$(GO) run ./cmd/tune show -machine IG machines/ig.tune.json > /dev/null
+	$(GO) run ./cmd/tune diff -defaults machines/ig.tune.json
 
 clean:
 	$(GO) clean ./...

@@ -19,9 +19,45 @@ import (
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/topology"
+	"repro/internal/tune"
 )
 
 var jsonOut bool
+
+// validOps are the operations runSweep and -scalability accept, and
+// validFigs the arguments -fig accepts; both lists back the one-line
+// rejection errors below.
+var (
+	validOps  = []string{"bcast", "gather", "scatter", "allgather", "alltoall", "alltoallv", "barrier", "pingpong"}
+	validFigs = []string{"4", "5", "6", "7", "8", "scatter", "all"}
+)
+
+// checkChoice validates a flag value against its closed set, returning the
+// one-line error `imb` prints: unknown value plus every valid spelling.
+func checkChoice(flagName, val string, valid []string) error {
+	for _, v := range valid {
+		if val == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s %q (valid: %s)", flagName, val, strings.Join(valid, ", "))
+}
+
+// loadDecisions installs tuned decision tables (comma-separated paths,
+// written by `tune search`) as the process-wide decision set: any measured
+// machine whose fingerprint matches a table runs under its decisions.
+func loadDecisions(paths string) error {
+	set := tune.NewSet()
+	for _, p := range splitNonEmpty(paths) {
+		t, err := tune.Load(p, nil)
+		if err != nil {
+			return err
+		}
+		set.Add(t)
+	}
+	bench.SetDecisions(set)
+	return nil
+}
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, scatter, all")
@@ -42,9 +78,28 @@ func main() {
 	faultCopyTr := flag.Float64("fault-copy-transient", 0, "probability a kernel copy fails transiently (EAGAIN)")
 	faultStrag := flag.String("fault-straggler", "", "comma-separated rank:delay stragglers (e.g. 3:2e-3)")
 	faultLink := flag.String("fault-link", "", "comma-separated link:scale degradations (e.g. bus0:0.5)")
+	decisionsPath := flag.String("decisions", "", "comma-separated tuned decision tables (JSON from `tune search`) applied to matching machines")
 	flag.Parse()
 	jsonOut = *asJSON
 	bench.SetParallel(*parallel)
+	if *fig != "" {
+		if err := checkChoice("-fig", *fig, validFigs); err != nil {
+			fmt.Fprintln(os.Stderr, "imb:", err)
+			os.Exit(2)
+		}
+	}
+	if *op != "" {
+		if err := checkChoice("-op", *op, validOps); err != nil {
+			fmt.Fprintln(os.Stderr, "imb:", err)
+			os.Exit(2)
+		}
+	}
+	if *decisionsPath != "" {
+		if err := loadDecisions(*decisionsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "imb:", err)
+			os.Exit(2)
+		}
+	}
 	plan := buildPlan(*faultSeed, *faultCreate, *faultPin, *faultInval, *faultCopyTr, *faultStrag, *faultLink)
 
 	switch {

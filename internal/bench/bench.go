@@ -19,6 +19,7 @@ import (
 	"repro/internal/shm"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // Op identifies a collective operation under measurement.
@@ -107,6 +108,11 @@ type Config struct {
 	// Fault optionally injects a deterministic fault schedule into the
 	// run (see internal/fault); counters land in Result.Stats.
 	Fault *fault.Plan
+	// Decider optionally attaches a tuned decision source to the world
+	// (internal/tune). When nil, the global decision set installed with
+	// SetDecisions is consulted for a table matching the machine; when
+	// neither applies, every component keeps its hardcoded rules.
+	Decider *tune.Decider
 }
 
 // shmConfig uses 128 KiB fragments for throughput benchmarks: large
@@ -131,6 +137,10 @@ func Measure(cfg Config) (Result, error) {
 	if cfg.Iters == 0 {
 		cfg.Iters = 3
 	}
+	dec := cfg.Decider
+	if dec == nil {
+		dec = decisions.Load().For(cfg.Machine)
+	}
 	perRank := make([]float64, cfg.NP)
 	stats := &trace.Stats{}
 	_, _, err := mpi.Run(mpi.Options{
@@ -142,6 +152,7 @@ func Measure(cfg Config) (Result, error) {
 		Coll:    cfg.Comp.New,
 		Stats:   stats,
 		Fault:   cfg.Fault,
+		Decider: dec,
 	}, func(r *mpi.Rank) {
 		bufs := prepare(r, cfg)
 		var total float64

@@ -4,7 +4,32 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/topology"
+	"repro/internal/tune"
 )
+
+// decisions holds the process-wide tuned decision set (imb -decisions):
+// every Measure cell whose machine matches one of its tables runs under
+// tuned decisions, so all figure builders can be rerun tuned without
+// threading a parameter through every builder. Nil-safe: the zero value
+// applies no decisions.
+var decisions atomic.Pointer[decisionSet]
+
+type decisionSet struct{ set *tune.Set }
+
+func (d *decisionSet) For(m *topology.Machine) *tune.Decider {
+	if d == nil {
+		return nil
+	}
+	return d.set.For(m)
+}
+
+// SetDecisions installs the global tuned decision set consulted by Measure
+// for configs without an explicit Decider; nil clears it.
+func SetDecisions(s *tune.Set) {
+	decisions.Store(&decisionSet{set: s})
+}
 
 // The sweep layer is embarrassingly parallel: every Measure cell owns a
 // private sim.Engine, memsim.Net, and trace.Stats, and only reads the

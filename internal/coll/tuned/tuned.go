@@ -24,6 +24,7 @@ import (
 	"repro/internal/coll/basic"
 	"repro/internal/memsim"
 	"repro/internal/mpi"
+	"repro/internal/tune"
 )
 
 // Config carries the switch points.
@@ -35,6 +36,19 @@ type Config struct {
 	GatherBinMax     int64 // <= : binomial gather/scatter (default 16 KiB blocks)
 	AllgatherRDMax   int64 // <= : recursive doubling if pow2 (default 64 KiB blocks)
 	AlltoallLinMax   int64 // <= : linear alltoall (default 4 KiB blocks)
+	// Fanout forces the Broadcast tree shape above the binomial range:
+	// 1 is the pipelined chain, 2 the pipelined binary tree; 0 keeps the
+	// size-based rule. It is the tree-fanout dimension the autotuner
+	// sweeps.
+	Fanout int
+	// Seg, if nonzero, overrides both pipeline segment sizes.
+	Seg int64
+	// Decider, when non-nil, supplies empirically tuned per-size
+	// Broadcast knobs (segment size, fanout) from a decision table
+	// (internal/tune). A component built with an all-default Config
+	// adopts the world's decider automatically; explicitly configured
+	// ones keep their settings.
+	Decider *tune.Decider
 }
 
 func (c *Config) fill() {
@@ -65,15 +79,62 @@ func (c *Config) fill() {
 type Component struct {
 	cfg    Config
 	linear *basic.Component
+	// btlKNEM records whether the world's point-to-point transport is
+	// KNEM: a decision table stores separate best Tuned knobs per BTL.
+	btlKNEM bool
+}
+
+// tunable reports whether every switch point is at its default, i.e.
+// whether a world-level decision table may steer this component.
+func (c *Config) tunable() bool {
+	return *c == Config{}
 }
 
 // New builds the component with default switch points.
 func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
 
-// NewWithConfig builds the component with explicit switch points.
-func NewWithConfig(_ *mpi.World, cfg Config) mpi.Coll {
+// NewWithConfig builds the component with explicit switch points. A nil
+// world is accepted (direct algorithm tests); decision tables then never
+// apply.
+func NewWithConfig(w *mpi.World, cfg Config) mpi.Coll {
+	comp := &Component{linear: &basic.Component{}}
+	if w != nil {
+		if cfg.Decider == nil && cfg.tunable() {
+			cfg.Decider = w.Decider()
+		}
+		comp.btlKNEM = w.BTL() == mpi.BTLKNEM
+	}
 	cfg.fill()
-	return &Component{cfg: cfg, linear: &basic.Component{}}
+	comp.cfg = cfg
+	return comp
+}
+
+// bcastKnobs resolves the effective segment override and fanout for an
+// n-byte Broadcast: the tuned cell's best knobs for this component's BTL
+// flavour when a table covers the size, else the configured values.
+func (c *Component) bcastKnobs(r *mpi.Rank, n int64) (seg int64, fanout int) {
+	seg, fanout = c.cfg.Seg, c.cfg.Fanout
+	if c.cfg.Decider == nil {
+		return seg, fanout
+	}
+	cell, ok := c.cfg.Decider.Lookup(tune.OpBcast, r.Size(), n)
+	if !ok {
+		return seg, fanout
+	}
+	alt := cell.Alts.TunedSM
+	if c.btlKNEM {
+		alt = cell.Alts.TunedKNEM
+	}
+	if alt == nil {
+		return seg, fanout
+	}
+	if alt.Choice.Seg > 0 {
+		seg = alt.Choice.Seg
+	}
+	if alt.Choice.Fanout > 0 {
+		fanout = alt.Choice.Fanout
+	}
+	return seg, fanout
 }
 
 // Name implements mpi.Coll.
@@ -83,16 +144,27 @@ func (*Component) Name() string { return "tuned" }
 func (c *Component) Barrier(r *mpi.Rank) { c.linear.Barrier(r) }
 
 // Bcast selects binomial, pipelined binary tree, or pipelined chain by
-// message size.
+// message size; a forced fanout (configured or tuned) overrides the tree
+// shape above the binomial range, and a segment override replaces the
+// per-shape pipeline segments.
 func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
 	tag := r.CollTag()
+	seg, fanout := c.bcastKnobs(r, v.Len)
+	treeSeg, chainSeg := c.cfg.BcastTreeSeg, c.cfg.BcastChainSeg
+	if seg > 0 {
+		treeSeg, chainSeg = seg, seg
+	}
 	switch {
-	case v.Len <= c.cfg.BcastBinomialMax || r.Size() <= 2:
+	case r.Size() <= 2 || (v.Len <= c.cfg.BcastBinomialMax && fanout == 0):
 		coll.BcastBinomial(r, v, root, tag)
+	case fanout == 1:
+		coll.BcastChainPipelined(r, v, root, tag, chainSeg)
+	case fanout == 2:
+		coll.BcastBinaryPipelined(r, v, root, tag, treeSeg)
 	case v.Len <= c.cfg.BcastTreeMax:
-		coll.BcastBinaryPipelined(r, v, root, tag, c.cfg.BcastTreeSeg)
+		coll.BcastBinaryPipelined(r, v, root, tag, treeSeg)
 	default:
-		coll.BcastChainPipelined(r, v, root, tag, c.cfg.BcastChainSeg)
+		coll.BcastChainPipelined(r, v, root, tag, chainSeg)
 	}
 }
 

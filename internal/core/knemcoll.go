@@ -28,6 +28,7 @@ import (
 	"repro/internal/knem"
 	"repro/internal/memsim"
 	"repro/internal/mpi"
+	"repro/internal/tune"
 )
 
 // Mode selects the Broadcast topology.
@@ -78,6 +79,15 @@ type Config struct {
 	// bottleneck on large nodes. Off by default to stay faithful to the
 	// published component.
 	RingAllgather bool
+	// Decider, when non-nil, supplies empirically tuned decisions
+	// (internal/tune): whether the KNEM path beats the fallback for a
+	// given (op, nranks, size) cell, which Broadcast topology to use, and
+	// which pipeline segment. Cells the table does not cover fall back to
+	// the hardcoded rules above. A component built with an all-default
+	// Config adopts the world's decider automatically (mpi.Options);
+	// explicitly configured components (fixed segments, forced modes —
+	// the Fig. 4 sweeps and ablations) are never steered.
+	Decider *tune.Decider
 	// LazySync defers the root-side synchronization of rooted operations:
 	// instead of idling for every peer's ACK before returning (§V-B step
 	// 6), the root returns once the cookies are out and drains the ACKs —
@@ -170,11 +180,22 @@ func (c *Component) finishRoot(r *mpi.Rank, ck knem.Cookie, ackTag, nACKs int) {
 // (call before tearing down a world or asserting region counts).
 func (c *Component) FlushPending(r *mpi.Rank) { c.drainPending(r) }
 
+// tunable reports whether every knob is at its default, i.e. whether a
+// world-level decision table may steer this component.
+func (c *Config) tunable() bool {
+	return c.Threshold == 0 && c.Mode == ModeAuto && c.SegIntermediate == 0 &&
+		c.SegLarge == 0 && c.LargeMin == 0 && c.FixedSeg == 0 && !c.NoPipeline &&
+		c.DMADepth == 0 && !c.RingAllgather && !c.LazySync && c.Fallback == nil
+}
+
 // New builds the component with default configuration.
 func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
 
 // NewWithConfig builds the component with explicit configuration.
 func NewWithConfig(w *mpi.World, cfg Config) mpi.Coll {
+	if cfg.Decider == nil && cfg.tunable() {
+		cfg.Decider = w.Decider()
+	}
 	cfg.fill()
 	c := &Component{w: w, cfg: cfg, fb: cfg.Fallback(w), pending: make(map[int]*pendingSync)}
 	nd := len(w.Machine().Domains)
@@ -193,19 +214,57 @@ func (*Component) Name() string { return "knemcoll" }
 // Fallback exposes the delegate (tests).
 func (c *Component) Fallback() mpi.Coll { return c.fb }
 
-func (c *Component) hierarchical() bool {
-	switch c.cfg.Mode {
-	case ModeLinear:
-		return false
-	case ModeHierarchical:
-		return true
+// lookup fetches the tuned cell for an n-byte instance of op, when a
+// decision table is attached and covers the operation near this size.
+func (c *Component) lookup(op string, n int64) (tune.Cell, bool) {
+	if c.cfg.Decider == nil {
+		return tune.Cell{}, false
 	}
-	if len(c.w.Machine().Domains) < 2 {
-		return false
+	return c.cfg.Decider.Lookup(op, c.w.Size(), n)
+}
+
+// useKnem decides whether an n-byte instance of op takes the KNEM path.
+// With a tuned cell the KNEM path runs only when the cell's best KNEM-Coll
+// configuration beat the measured fallback, and above that configuration's
+// own activation threshold; without one, the hardcoded profitability
+// threshold rules (§V-A).
+func (c *Component) useKnem(op string, n int64) bool {
+	if cell, ok := c.lookup(op, n); ok && cell.Alts.Knem != nil {
+		if fb := cell.Alts.TunedSM; fb != nil && fb.Seconds < cell.Alts.Knem.Seconds {
+			return false
+		}
+		if thr := cell.Alts.Knem.Choice.Threshold; thr > 0 {
+			return n >= thr
+		}
+	}
+	return n >= c.cfg.Threshold
+}
+
+// bcastMode resolves the Broadcast topology for an n-byte message: a tuned
+// cell's mode wins, then the configured mode, with ModeAuto resolved by
+// the per-platform rule (§IV, §VI-E: hierarchical on NUMA machines with
+// leaves under the domain leaders, linear otherwise).
+func (c *Component) bcastMode(n int64) Mode {
+	mode := c.cfg.Mode
+	if cell, ok := c.lookup(tune.OpBcast, n); ok && cell.Alts.Knem != nil {
+		switch cell.Alts.Knem.Choice.Mode {
+		case "linear":
+			mode = ModeLinear
+		case "hierarchical":
+			mode = ModeHierarchical
+		case "multilevel":
+			mode = ModeMultiLevel
+		}
+	}
+	if mode != ModeAuto {
+		return mode
 	}
 	// A hierarchy needs leaves: with one rank per domain the tree
 	// degenerates to the linear algorithm anyway.
-	return c.w.Size() > len(c.w.Machine().Domains)
+	if len(c.w.Machine().Domains) < 2 || c.w.Size() <= len(c.w.Machine().Domains) {
+		return ModeLinear
+	}
+	return ModeHierarchical
 }
 
 // segSize returns the pipeline segment size for an n-byte Broadcast.
@@ -215,6 +274,9 @@ func (c *Component) segSize(n int64) int64 {
 	}
 	if c.cfg.FixedSeg != 0 {
 		return c.cfg.FixedSeg
+	}
+	if cell, ok := c.lookup(tune.OpBcast, n); ok && cell.Alts.Knem != nil && cell.Alts.Knem.Choice.Seg > 0 {
+		return cell.Alts.Knem.Choice.Seg
 	}
 	if n >= c.cfg.LargeMin {
 		return c.cfg.SegLarge
@@ -270,19 +332,18 @@ func (c *Component) Barrier(r *mpi.Rank) {
 // hierarchical pipelined algorithm of §IV on deeply NUMA machines.
 func (c *Component) Bcast(r *mpi.Rank, v memsim.View, root int) {
 	c.enter(r)
-	if v.Len < c.cfg.Threshold || r.Size() == 1 {
+	if r.Size() == 1 || !c.useKnem(tune.OpBcast, v.Len) {
 		c.fb.Bcast(r, v, root)
 		return
 	}
-	if c.cfg.Mode == ModeMultiLevel {
+	switch c.bcastMode(v.Len) {
+	case ModeMultiLevel:
 		c.bcastMultiLevel(r, v, root)
-		return
-	}
-	if c.hierarchical() {
+	case ModeHierarchical:
 		c.bcastHierarchical(r, v, root)
-		return
+	default:
+		c.bcastLinear(r, v, root)
 	}
-	c.bcastLinear(r, v, root)
 }
 
 // bcastLinear: the root declares one read region; every receiver core
@@ -315,7 +376,7 @@ func (c *Component) bcastLinear(r *mpi.Rank, v memsim.View, root int) {
 // own offset (granularity control), so the root performs no copies at all.
 func (c *Component) Scatter(r *mpi.Rank, send, recv memsim.View, root int) {
 	c.enter(r)
-	if recv.Len < c.cfg.Threshold || r.Size() == 1 {
+	if r.Size() == 1 || !c.useKnem(tune.OpScatter, recv.Len) {
 		c.fb.Scatter(r, send, recv, root)
 		return
 	}
@@ -364,7 +425,7 @@ func (c *Component) scatterKnem(r *mpi.Rank, send memsim.View, scounts, sdispls 
 // simultaneously — impossible with point-to-point semantics.
 func (c *Component) Gather(r *mpi.Rank, send, recv memsim.View, root int) {
 	c.enter(r)
-	if send.Len < c.cfg.Threshold || r.Size() == 1 {
+	if r.Size() == 1 || !c.useKnem(tune.OpGather, send.Len) {
 		c.fb.Gather(r, send, recv, root)
 		return
 	}
@@ -416,11 +477,11 @@ func (c *Component) gatherKnem(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 // root-bottleneck weakness on large NUMA nodes (§VI-D analyses it).
 func (c *Component) Allgather(r *mpi.Rank, send, recv memsim.View) {
 	c.enter(r)
-	if send.Len < c.cfg.Threshold || r.Size() == 1 {
+	if r.Size() == 1 || !c.useKnem(tune.OpAllgather, send.Len) {
 		c.fb.Allgather(r, send, recv)
 		return
 	}
-	if c.cfg.RingAllgather {
+	if c.ringAllgather(send.Len) {
 		counts, displs := coll.Uniform(r.Size(), send.Len)
 		c.allgatherRing(r, send, recv.SubView(0, send.Len*int64(r.Size())), counts, displs)
 		return
@@ -438,7 +499,7 @@ func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 		c.fb.Allgatherv(r, send, recv, rcounts, rdispls)
 		return
 	}
-	if c.cfg.RingAllgather {
+	if c.ringAllgather(maxCount(rcounts)) {
 		c.allgatherRing(r, send, recv, rcounts, rdispls)
 		return
 	}
@@ -451,7 +512,7 @@ func (c *Component) Allgatherv(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 func (c *Component) Alltoall(r *mpi.Rank, send, recv memsim.View) {
 	c.enter(r)
 	blk := send.Len / int64(r.Size())
-	if blk < c.cfg.Threshold || r.Size() == 1 {
+	if r.Size() == 1 || !c.useKnem(tune.OpAlltoall, blk) {
 		c.fb.Alltoall(r, send, recv)
 		return
 	}
@@ -523,6 +584,16 @@ func (c *Component) alltoallKnem(r *mpi.Rank, send memsim.View, scounts, sdispls
 	// Nobody may deregister while peers might still read (§V-C).
 	coll.Dissemination(r, tag+2)
 	c.mustDestroy(r, ck)
+}
+
+// ringAllgather resolves the Allgather algorithm for an n-byte block: a
+// tuned cell choosing mode "ring" enables the ring-style algorithm (§VI-D)
+// for that size, otherwise the configured default applies.
+func (c *Component) ringAllgather(n int64) bool {
+	if cell, ok := c.lookup(tune.OpAllgather, n); ok && cell.Alts.Knem != nil {
+		return cell.Alts.Knem.Choice.Mode == "ring"
+	}
+	return c.cfg.RingAllgather
 }
 
 func maxCount(counts []int64) int64 {

@@ -24,7 +24,7 @@ func TestModeAutoSelection(t *testing.T) {
 			t.Fatal(err)
 		}
 		comp := w.Coll().(*Component)
-		if got := comp.hierarchical(); got != c.hier {
+		if got := comp.bcastMode(1<<20) == ModeHierarchical; got != c.hier {
 			t.Errorf("%s np=%d: hierarchical = %v, want %v", c.mach.Name, c.np, got, c.hier)
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // BTLKind selects the point-to-point transport for large messages.
@@ -106,6 +107,12 @@ type Options struct {
 	// collective components consult it. A nil or empty plan leaves every
 	// code path identical to the fault-free runtime.
 	Fault *fault.Plan
+	// Decider, when non-nil, offers empirically tuned algorithm decisions
+	// (internal/tune) to the collective components built for this world.
+	// Components constructed with an all-default configuration adopt it;
+	// explicitly configured ones (fixed segments, forced modes) keep
+	// their settings. Nil leaves every hardcoded switch point in force.
+	Decider *tune.Decider
 }
 
 // World is one MPI job on one machine.
@@ -209,6 +216,13 @@ func (w *World) Net() *memsim.Net { return w.net }
 
 // Knem returns the node's KNEM module.
 func (w *World) Knem() *knem.Module { return w.kn }
+
+// Decider returns the tuned decision source attached to the world, or nil
+// when the hardcoded switch points are in force.
+func (w *World) Decider() *tune.Decider { return w.opts.Decider }
+
+// BTL reports the world's large-message point-to-point transport.
+func (w *World) BTL() BTLKind { return w.opts.BTL }
 
 // Transport returns the shared-memory transport.
 func (w *World) Transport() *shm.Transport { return w.tr }

@@ -1,0 +1,56 @@
+package tune
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzDecisionTable asserts the decision-table loader never panics and
+// never accepts a table that breaks the Decider: any bytes Parse accepts
+// must validate, re-encode canonically, and serve arbitrary lookups
+// without panicking.
+func FuzzDecisionTable(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleTable(topology.ByName("IG")).Write(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"machine":"IG","fingerprint":"x","grid":{},"cells":[]}`))
+	f.Add([]byte(`{"version":1,"machine":"IG","fingerprint":"x","grid":{},"cells":[{"op":"bcast","np":48,"size":1,"choice":{"comp":"KNEM-Coll"},"seconds":1e-300}]}`))
+	f.Add([]byte(`{"version":1,"cells":[{"op":"bcast","np":-1,"size":-9223372036854775808,"seconds":1e309}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("null"))
+	f.Add([]byte("\x00\xff{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever Parse accepts must satisfy the structural invariants...
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("Parse accepted a table Validate rejects: %v", err)
+		}
+		// ...re-encode canonically (Write must not fail on parsed input)...
+		var buf bytes.Buffer
+		if err := tb.Write(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := Parse(buf.Bytes()); err != nil {
+			t.Fatalf("canonical re-encode does not re-parse: %v", err)
+		}
+		// ...and drive a Decider through hostile lookups without panicking.
+		d := NewDecider(tb)
+		for _, op := range append(Ops(), "reduce", "") {
+			for _, np := range []int{-1, 0, 1, 2, 48, 1 << 20} {
+				for _, size := range []int64{-1, 0, 1, 16 << 10, 1 << 20, 1 << 40} {
+					if c, ok := d.Lookup(op, np, size); ok && c.Op != op {
+						t.Fatalf("Lookup(%q) returned a cell for op %q", op, c.Op)
+					}
+				}
+			}
+		}
+	})
+}
