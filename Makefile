@@ -27,9 +27,14 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=100ms ./internal/sim ./internal/memsim
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
+# Regression gate: re-measure the full trajectory and fail if the process
+# handoff (sim/park_wake) or the sequential sweep wall clock regressed more
+# than 25% against the committed BENCH_sim.json. The fresh report lands in
+# /tmp so the committed baseline stays the comparison point; `make bench`
+# rewrites the baseline deliberately.
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
-	$(GO) run ./cmd/simbench -short -o BENCH_sim.json
+	$(GO) run ./cmd/simbench -check BENCH_sim.json -tolerance 0.25 -o /tmp/BENCH_sim.current.json
 
 # Regenerate every recorded artifact under results/. Output is byte-identical
 # at any -parallel level (see internal/bench/parallel.go); the sweeps are
@@ -41,12 +46,21 @@ results:
 	$(GO) run ./cmd/imb -parallel 4 -scalability -machine IG -op bcast -sizes 1M -iters 2 > results/scalability.txt
 
 # Autotuner smoke: search a tiny grid twice at different parallelism
-# levels, assert the emitted tables are byte-identical, and validate the
-# result (including the committed IG table) with `tune show`.
+# levels with the sim cache off, assert the emitted tables are
+# byte-identical; then twice more against a fresh cache directory (first
+# run populates, second is served entirely from disk) and assert both
+# match the uncached table byte-for-byte — the memoization determinism
+# guard. Finally validate the result (including the committed IG table)
+# with `tune show`.
 tune-smoke:
-	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 1 -q -o /tmp/tune-smoke-a.json
-	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 4 -q -o /tmp/tune-smoke-b.json
+	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 1 -q -no-cache -o /tmp/tune-smoke-a.json
+	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 4 -q -no-cache -o /tmp/tune-smoke-b.json
 	cmp /tmp/tune-smoke-a.json /tmp/tune-smoke-b.json
+	rm -rf /tmp/tune-smoke-cache
+	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 4 -q -cache-dir /tmp/tune-smoke-cache -o /tmp/tune-smoke-c.json
+	$(GO) run ./cmd/tune search -machine Zoot -ops bcast,gather -sizes 64K,256K,1M -parallel 4 -q -cache-dir /tmp/tune-smoke-cache -o /tmp/tune-smoke-d.json
+	cmp /tmp/tune-smoke-a.json /tmp/tune-smoke-c.json
+	cmp /tmp/tune-smoke-c.json /tmp/tune-smoke-d.json
 	$(GO) run ./cmd/tune show -machine Zoot /tmp/tune-smoke-a.json > /dev/null
 	$(GO) run ./cmd/tune show -machine IG machines/ig.tune.json > /dev/null
 	$(GO) run ./cmd/tune diff -defaults machines/ig.tune.json

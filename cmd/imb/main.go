@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -79,9 +80,12 @@ func main() {
 	faultStrag := flag.String("fault-straggler", "", "comma-separated rank:delay stragglers (e.g. 3:2e-3)")
 	faultLink := flag.String("fault-link", "", "comma-separated link:scale degradations (e.g. bus0:0.5)")
 	decisionsPath := flag.String("decisions", "", "comma-separated tuned decision tables (JSON from `tune search`) applied to matching machines")
+	noCache := flag.Bool("no-cache", false, "disable run memoization: re-simulate every cell")
+	cacheDir := flag.String("cache-dir", "", "persistent simulation cache directory (default: the user cache dir)")
 	flag.Parse()
 	jsonOut = *asJSON
 	bench.SetParallel(*parallel)
+	cached := enableSimCache("imb", *noCache, *cacheDir)
 	if *fig != "" {
 		if err := checkChoice("-fig", *fig, validFigs); err != nil {
 			fmt.Fprintln(os.Stderr, "imb:", err)
@@ -115,6 +119,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if cached {
+		hits, misses := bench.CacheCounts()
+		fmt.Fprintf(os.Stderr, "imb: sim cache: %d hits, %d misses\n", hits, misses)
+	}
+}
+
+// enableSimCache turns on bench run memoization (unless -no-cache), using
+// dir or a per-user default directory; it reports whether the cache is on.
+// A directory failure degrades to an in-process cache, not an error: the
+// cache only ever trades speed, never results.
+func enableSimCache(prog string, noCache bool, dir string) bool {
+	if noCache {
+		return false
+	}
+	if dir == "" {
+		if base, err := os.UserCacheDir(); err == nil {
+			dir = filepath.Join(base, "repro-sim")
+		}
+	}
+	if err := bench.EnableCache(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v (continuing with an in-memory cache)\n", prog, err)
+		bench.EnableCache("")
+	}
+	return true
 }
 
 // buildPlan assembles a fault.Plan from the -fault-* flags; nil when none

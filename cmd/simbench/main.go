@@ -1,20 +1,23 @@
 // Command simbench records the simulator's performance trajectory as
 // BENCH_sim.json: ns/op and allocs/op for the hot paths (flow churn under
-// contention, event scheduling, process handoff) plus the wall-clock time
-// of a reference sweep run sequentially and with four concurrent
-// measurement cells.
+// contention, event scheduling, coroutine process handoff), the wall-clock
+// time of a reference sweep run sequentially and with four concurrent
+// measurement cells, and the fresh-versus-memoized wall clock of a small
+// autotuner search.
 //
 // The emitted file carries the host's CPU count so speedup numbers can be
 // judged honestly: on a single-CPU runner the parallel sweep cannot beat
-// the sequential one no matter how good the runner is. The allocs/op and
-// ns/op trajectory against the recorded pre-optimization baseline is
-// machine-independent.
+// the sequential one no matter how good the runner is — it is therefore
+// skipped (and annotated) when GOMAXPROCS < 2 instead of polluting the
+// trajectory. The allocs/op and ns/op trajectory against the recorded
+// baselines is machine-independent.
 //
 // Usage:
 //
-//	simbench                 # full run, JSON on stdout
-//	simbench -short          # CI smoke: 1-iteration sweep, -benchtime=10000x
+//	simbench                     # full run, JSON on stdout
+//	simbench -short              # CI smoke: tiny sweep, tiny search grid
 //	simbench -o BENCH_sim.json
+//	simbench -check BENCH_sim.json   # regression gate against a baseline
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,20 +34,28 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/tune/search"
 )
 
 const MB = 1 << 20
 
-// Report is the BENCH_sim.json schema ("bench_sim/v1").
+// Report is the BENCH_sim.json schema ("bench_sim/v2"; v1 lacked the
+// tune_search section, the parallel-sweep skip annotation, and the
+// channel-engine baseline).
 type Report struct {
-	Schema     string      `json:"schema"`
-	GoVersion  string      `json:"go"`
-	CPUs       int         `json:"cpus"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Short      bool        `json:"short"`
-	Benchmarks []BenchLine `json:"benchmarks"`
-	Sweep      SweepLine   `json:"sweep"`
-	Baseline   []BenchLine `json:"baseline_pre_optimization"`
+	Schema     string         `json:"schema"`
+	GoVersion  string         `json:"go"`
+	CPUs       int            `json:"cpus"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Short      bool           `json:"short"`
+	Benchmarks []BenchLine    `json:"benchmarks"`
+	Sweep      SweepLine      `json:"sweep"`
+	TuneSearch TuneSearchLine `json:"tune_search"`
+	Baseline   []BenchLine    `json:"baseline_pre_optimization"`
+	// BaselineChannels records the goroutine-channel engine's committed
+	// numbers immediately before the coroutine switch, so this report
+	// always shows the handoff and sweep trajectory across that change.
+	BaselineChannels EngineBaseline `json:"baseline_channel_engine"`
 }
 
 // BenchLine is one micro-benchmark result (or recorded baseline).
@@ -56,15 +68,37 @@ type BenchLine struct {
 
 // SweepLine is the reference sweep (imb -op bcast -machine IG) measured
 // sequentially and with four concurrent cells. Speedup > 1 requires real
-// parallelism; on cpus=1 expect ~1.0 (the point of recording cpus).
+// parallelism, so the parallel leg only runs when GOMAXPROCS >= 2;
+// otherwise ParallelSkipped names the reason and Parallel4/Speedup are
+// omitted.
 type SweepLine struct {
-	Op         string  `json:"op"`
-	Machine    string  `json:"machine"`
-	Iters      int     `json:"iters"`
-	Cells      int     `json:"cells"`
-	Sequential float64 `json:"seconds_sequential"`
-	Parallel4  float64 `json:"seconds_parallel4"`
-	Speedup    float64 `json:"speedup"`
+	Op              string  `json:"op"`
+	Machine         string  `json:"machine"`
+	Iters           int     `json:"iters"`
+	Cells           int     `json:"cells"`
+	Sequential      float64 `json:"seconds_sequential"`
+	Parallel4       float64 `json:"seconds_parallel4,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	ParallelSkipped string  `json:"parallel_skipped,omitempty"`
+}
+
+// TuneSearchLine times one autotuner search twice against an empty
+// persistent cache: the first run simulates every cell, the second is
+// served entirely by the memoization layer.
+type TuneSearchLine struct {
+	Machine       string  `json:"machine"`
+	Ops           string  `json:"ops"`
+	Cells         int     `json:"cells"`
+	SecondsFresh  float64 `json:"seconds_fresh"`
+	SecondsCached float64 `json:"seconds_cached"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// EngineBaseline is the committed channel-engine snapshot (see
+// Report.BaselineChannels).
+type EngineBaseline struct {
+	ParkWakeNs             float64 `json:"park_wake_ns_per_op"`
+	SweepSecondsSequential float64 `json:"sweep_seconds_sequential"`
 }
 
 // baseline numbers measured on this codebase immediately before the
@@ -79,23 +113,47 @@ var baseline = []BenchLine{
 	{Name: "memsim/reschedule_flows48", NsPerOp: 13399, AllocsPerOp: 13, BytesPerOp: 3560},
 }
 
+// channelBaseline is the committed BENCH_sim.json of the goroutine-channel
+// engine, recorded just before the switch to iter.Pull coroutines.
+var channelBaseline = EngineBaseline{
+	ParkWakeNs:             1421.9479311770851,
+	SweepSecondsSequential: 2.793275014,
+}
+
 func main() {
-	short := flag.Bool("short", false, "CI smoke mode: tiny sweep, capped benchtime")
+	short := flag.Bool("short", false, "CI smoke mode: tiny sweep and search grid, capped benchtime")
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	check := flag.String("check", "", "baseline BENCH_sim.json to compare against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "with -check: allowed relative regression before failing")
 	flag.Parse()
 
+	var base *Report
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+	}
+
 	rep := Report{
-		Schema:     "bench_sim/v1",
-		GoVersion:  runtime.Version(),
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Short:      *short,
-		Baseline:   baseline,
+		Schema:           "bench_sim/v2",
+		GoVersion:        runtime.Version(),
+		CPUs:             runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Short:            *short,
+		Baseline:         baseline,
+		BaselineChannels: channelBaseline,
 	}
 
 	// testing.Benchmark self-calibrates to ~1s per scenario — short
 	// enough that even the CI smoke job runs the full micro set; -short
-	// only trims the sweep below.
+	// only trims the sweep and search below.
 	run := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		rep.Benchmarks = append(rep.Benchmarks, BenchLine{
@@ -111,6 +169,7 @@ func main() {
 	run("sim/park_wake", benchParkWake)
 
 	rep.Sweep = measureSweep(*short)
+	rep.TuneSearch = measureTuneSearch(*short)
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -120,12 +179,51 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
+	if base != nil && !checkAgainst(&rep, base, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// checkAgainst is the bench-smoke regression gate: the handoff
+// micro-benchmark and the sequential sweep wall clock must stay within
+// tolerance of the baseline report. Comparisons whose scenarios differ
+// (short vs full sweep) are skipped with a note rather than compared
+// apples-to-oranges.
+func checkAgainst(cur, base *Report, tol float64) bool {
+	ok := true
+	compare := func(what string, curV, baseV float64) {
+		if baseV <= 0 {
+			fmt.Fprintf(os.Stderr, "simbench: check: %s: no baseline value, skipped\n", what)
+			return
+		}
+		rel := curV/baseV - 1
+		status := "ok"
+		if rel > tol {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "simbench: check: %s: %.4g vs baseline %.4g (%+.1f%%, tolerance %.0f%%): %s\n",
+			what, curV, baseV, 100*rel, 100*tol, status)
+	}
+	find := func(r *Report, name string) float64 {
+		for _, b := range r.Benchmarks {
+			if b.Name == name {
+				return b.NsPerOp
+			}
+		}
+		return 0
+	}
+	compare("sim/park_wake ns/op", find(cur, "sim/park_wake"), find(base, "sim/park_wake"))
+	if cur.Short == base.Short && cur.Sweep.Cells == base.Sweep.Cells {
+		compare("sweep seconds_sequential", cur.Sweep.Sequential, base.Sweep.Sequential)
+	} else {
+		fmt.Fprintln(os.Stderr, "simbench: check: sweep shapes differ (short/full), wall-clock comparison skipped")
+	}
+	return ok
 }
 
 // benchCopyChurn is the end-to-end flow lifecycle under contention: each op
@@ -176,7 +274,8 @@ func benchScheduleFire(b *testing.B) {
 }
 
 // benchParkWake is one process handoff per op: a parked process woken by
-// another, the primitive under every message and copy completion.
+// another — two coroutine switches plus the wake/wait event lifecycle,
+// the primitive under every message and copy completion.
 func benchParkWake(b *testing.B) {
 	e := sim.NewEngine()
 	var waiter *sim.Proc
@@ -199,7 +298,8 @@ func benchParkWake(b *testing.B) {
 }
 
 // measureSweep times the reference sweep — Broadcast across the paper's
-// five components on IG — sequentially and with four concurrent cells.
+// five components on IG — sequentially and, when the host can actually run
+// cells concurrently, with four concurrent cells.
 func measureSweep(short bool) SweepLine {
 	m := topology.IG()
 	sizes := bench.PaperSizes()
@@ -224,10 +324,66 @@ func measureSweep(short bool) SweepLine {
 		bench.MeasureAll(cfgs)
 		return time.Since(start).Seconds()
 	}
-	seq := timeIt(1)
-	par := timeIt(4)
-	return SweepLine{
+	line := SweepLine{
 		Op: "bcast", Machine: m.Name, Iters: 1, Cells: len(cfgs),
-		Sequential: seq, Parallel4: par, Speedup: seq / par,
+		Sequential: timeIt(1),
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		// A 1-CPU box time-slices the four workers over one core; the
+		// measured "speedup" would only record scheduling overhead.
+		line.ParallelSkipped = fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+		return line
+	}
+	line.Parallel4 = timeIt(4)
+	line.Speedup = line.Sequential / line.Parallel4
+	return line
+}
+
+// measureTuneSearch runs one autotuner search twice against a fresh
+// temporary cache directory: the first run simulates every cell, the
+// second replays them all from the memoization layer.
+func measureTuneSearch(short bool) TuneSearchLine {
+	m := topology.Zoot()
+	o := search.Options{
+		Machine: m,
+		Ops:     []string{"bcast", "gather"},
+		Sizes:   []int64{64 * bench.KiB, 256 * bench.KiB, 1 * bench.MiB},
+	}
+	if short {
+		o.Ops = []string{"bcast"}
+		o.Sizes = []int64{64 * bench.KiB, 1 * bench.MiB}
+	}
+	dir, err := os.MkdirTemp("", "simbench-cache-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	if err := bench.EnableCache(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	defer bench.DisableCache()
+	timeIt := func() (float64, int) {
+		// Drop the in-memory layer so the second run exercises the
+		// persistent path, like a separate process would.
+		bench.DisableCache()
+		if err := bench.EnableCache(dir); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		t, err := search.Run(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		return time.Since(start).Seconds(), len(t.Cells)
+	}
+	fresh, cells := timeIt()
+	cached, _ := timeIt()
+	return TuneSearchLine{
+		Machine: m.Name, Ops: strings.Join(o.Ops, ","), Cells: cells,
+		SecondsFresh: fresh, SecondsCached: cached, Speedup: fresh / cached,
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +64,24 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// enableSimCache turns on bench run memoization (unless -no-cache), using
+// dir or a per-user default directory; it reports whether the cache is on.
+func enableSimCache(prog string, noCache bool, dir string) bool {
+	if noCache {
+		return false
+	}
+	if dir == "" {
+		if base, err := os.UserCacheDir(); err == nil {
+			dir = filepath.Join(base, "repro-sim")
+		}
+	}
+	if err := bench.EnableCache(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v (continuing with an in-memory cache)\n", prog, err)
+		bench.EnableCache("")
+	}
+	return true
+}
+
 func cmdSearch(args []string) {
 	fs := flag.NewFlagSet("tune search", flag.ExitOnError)
 	machine := fs.String("machine", "IG", "machine to tune: Zoot, Dancer, Saturn, IG, or a machine-description file")
@@ -75,8 +94,11 @@ func cmdSearch(args []string) {
 	parallel := fs.Int("parallel", 1, "concurrent measurement cells; the table is byte-identical at any level")
 	out := fs.String("o", "", "output path (default: stdout)")
 	quiet := fs.Bool("q", false, "suppress progress logging")
+	noCache := fs.Bool("no-cache", false, "disable run memoization: re-simulate every cell")
+	cacheDir := fs.String("cache-dir", "", "persistent simulation cache directory (default: the user cache dir)")
 	fs.Parse(args)
 	bench.SetParallel(*parallel)
+	cached := enableSimCache("tune", *noCache, *cacheDir)
 
 	m, err := topology.LoadMachine(*machine)
 	if err != nil {
@@ -104,6 +126,10 @@ func cmdSearch(args []string) {
 	t, err := search.Run(o)
 	if err != nil {
 		fatal(err)
+	}
+	if cached {
+		hits, misses := bench.CacheCounts()
+		fmt.Fprintf(os.Stderr, "tune: sim cache: %d hits, %d misses\n", hits, misses)
 	}
 	if *out == "" {
 		if err := t.Write(os.Stdout); err != nil {

@@ -49,6 +49,12 @@ type Comp struct {
 	// 64 KiB; Open MPI uses KNEM for every rendezvous message).
 	KnemMin int64
 	New     func(w *mpi.World) mpi.Coll
+	// Key is the canonical encoding of the component's configuration for
+	// run memoization (see memo.go): two Comps with equal Keys must build
+	// behaviorally identical components. The constructors in this package
+	// fill it; a Comp assembled by hand may leave it empty, which opts
+	// its cells out of the cache.
+	Key string
 }
 
 // PaperComponents returns the five configurations of Figures 5-8, in the
@@ -60,32 +66,81 @@ func PaperComponents() []Comp {
 }
 
 // TunedSM is Open MPI's default: Tuned collectives over copy-in/copy-out.
-func TunedSM() Comp { return Comp{Name: "Tuned-SM", BTL: mpi.BTLSM, New: tuned.New} }
+func TunedSM() Comp {
+	return Comp{Name: "Tuned-SM", BTL: mpi.BTLSM, New: tuned.New, Key: tunedCfgKey("Tuned-SM", tuned.Config{})}
+}
 
 // TunedKNEM is Tuned over KNEM point-to-point rendezvous.
-func TunedKNEM() Comp { return Comp{Name: "Tuned-KNEM", BTL: mpi.BTLKNEM, New: tuned.New} }
+func TunedKNEM() Comp {
+	return Comp{Name: "Tuned-KNEM", BTL: mpi.BTLKNEM, New: tuned.New, Key: tunedCfgKey("Tuned-KNEM", tuned.Config{})}
+}
 
 // MPICH2SM is MPICH2 collectives over Nemesis shared memory.
-func MPICH2SM() Comp { return Comp{Name: "MPICH2-SM", BTL: mpi.BTLSM, New: mpich2.New} }
+func MPICH2SM() Comp {
+	return Comp{Name: "MPICH2-SM", BTL: mpi.BTLSM, New: mpich2.New, Key: "MPICH2-SM"}
+}
 
 // MPICH2KNEM is MPICH2 over the KNEM LMT.
 func MPICH2KNEM() Comp {
-	return Comp{Name: "MPICH2-KNEM", BTL: mpi.BTLKNEM, KnemMin: 64 << 10, New: mpich2.New}
+	return Comp{Name: "MPICH2-KNEM", BTL: mpi.BTLKNEM, KnemMin: 64 << 10, New: mpich2.New, Key: "MPICH2-KNEM"}
 }
 
 // KNEMColl is the paper's component (§V) with default configuration.
-func KNEMColl() Comp { return Comp{Name: "KNEM-Coll", BTL: mpi.BTLSM, New: core.New} }
+func KNEMColl() Comp {
+	return Comp{Name: "KNEM-Coll", BTL: mpi.BTLSM, New: core.New, Key: coreCfgKey(core.Config{})}
+}
 
 // KNEMCollCfg is the paper's component with explicit configuration.
 func KNEMCollCfg(name string, cfg core.Config) Comp {
-	return Comp{Name: name, BTL: mpi.BTLSM, New: func(w *mpi.World) mpi.Coll { return core.NewWithConfig(w, cfg) }}
+	return Comp{
+		Name: name, BTL: mpi.BTLSM,
+		New: func(w *mpi.World) mpi.Coll { return core.NewWithConfig(w, cfg) },
+		Key: coreCfgKey(cfg),
+	}
+}
+
+// TunedCfg is the Tuned component with explicit configuration, over SM or
+// the KNEM BTL (the autotuner's Tuned search-space points).
+func TunedCfg(name string, btl mpi.BTLKind, cfg tuned.Config) Comp {
+	comp := "Tuned-SM"
+	if btl == mpi.BTLKNEM {
+		comp = "Tuned-KNEM"
+	}
+	return Comp{
+		Name: name, BTL: btl,
+		New: func(w *mpi.World) mpi.Coll { return tuned.NewWithConfig(w, cfg) },
+		Key: tunedCfgKey(comp, cfg),
+	}
 }
 
 // BasicSM is the linear reference component (ablation).
-func BasicSM() Comp { return Comp{Name: "Basic-SM", BTL: mpi.BTLSM, New: basic.New} }
+func BasicSM() Comp { return Comp{Name: "Basic-SM", BTL: mpi.BTLSM, New: basic.New, Key: "Basic-SM"} }
 
 // SMColl is the Graham et al. fan-in/fan-out component (related work).
-func SMColl() Comp { return Comp{Name: "SM-Coll", BTL: mpi.BTLSM, New: smcoll.New} }
+func SMColl() Comp { return Comp{Name: "SM-Coll", BTL: mpi.BTLSM, New: smcoll.New, Key: "SM-Coll"} }
+
+// coreCfgKey canonically encodes a core.Config for memoization. Every
+// field of core.Config must appear here (or make the key empty): a field
+// missed by the encoding would alias distinct configurations in the cache.
+func coreCfgKey(cfg core.Config) string {
+	if cfg.Decider != nil || cfg.Fallback != nil {
+		return "" // not canonically encodable: opt out of the cache
+	}
+	return fmt.Sprintf("KNEM-Coll|thr=%d|mode=%d|segi=%d|segl=%d|lmin=%d|fseg=%d|nopipe=%t|dma=%d|ring=%t|lazy=%t",
+		cfg.Threshold, cfg.Mode, cfg.SegIntermediate, cfg.SegLarge, cfg.LargeMin,
+		cfg.FixedSeg, cfg.NoPipeline, cfg.DMADepth, cfg.RingAllgather, cfg.LazySync)
+}
+
+// tunedCfgKey canonically encodes a tuned.Config; same contract as
+// coreCfgKey.
+func tunedCfgKey(comp string, cfg tuned.Config) string {
+	if cfg.Decider != nil {
+		return ""
+	}
+	return fmt.Sprintf("%s|bbin=%d|btree=%d|tseg=%d|cseg=%d|gbin=%d|agrd=%d|a2alin=%d|fan=%d|seg=%d",
+		comp, cfg.BcastBinomialMax, cfg.BcastTreeMax, cfg.BcastTreeSeg, cfg.BcastChainSeg,
+		cfg.GatherBinMax, cfg.AllgatherRDMax, cfg.AlltoallLinMax, cfg.Fanout, cfg.Seg)
+}
 
 // Config describes one measurement.
 type Config struct {
@@ -129,7 +184,10 @@ type Result struct {
 	Stats trace.Stats
 }
 
-// Measure runs one configuration and returns its timing.
+// Measure runs one configuration and returns its timing. With run
+// memoization enabled (EnableCache), a cell whose full key — machine,
+// component configuration, op, size, nranks, iterations, decisions — was
+// measured before replays the recorded result instead of re-simulating.
 func Measure(cfg Config) (Result, error) {
 	if cfg.NP == 0 {
 		cfg.NP = cfg.Machine.NCores()
@@ -140,6 +198,15 @@ func Measure(cfg Config) (Result, error) {
 	dec := cfg.Decider
 	if dec == nil {
 		dec = decisions.Load().For(cfg.Machine)
+	}
+	var key string
+	if memo.enabled.Load() {
+		if k, ok := memoKey(cfg, dec); ok {
+			key = k
+			if ent, ok := memoLookup(k); ok {
+				return Result{Config: cfg, Seconds: ent.Seconds, Stats: ent.Stats}, nil
+			}
+		}
 	}
 	perRank := make([]float64, cfg.NP)
 	stats := &trace.Stats{}
@@ -183,6 +250,9 @@ func Measure(cfg Config) (Result, error) {
 		if v > res.Seconds {
 			res.Seconds = v
 		}
+	}
+	if key != "" {
+		memoStore(key, memoEntry{Seconds: res.Seconds, Stats: res.Stats})
 	}
 	return res, nil
 }

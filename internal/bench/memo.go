@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/tune"
+)
+
+// Run memoization: the simulator is deterministic, so a measurement cell is
+// a pure function of its inputs. Measure therefore keys each cell by
+// everything that shapes its result — simulator generation, machine
+// fingerprint, canonical component configuration, operation, message size,
+// nranks, iteration count, off-cache flag, root, and the content hash of
+// any tuned decision table steering the run — and replays the recorded
+// (seconds, stats) pair instead of re-simulating when the key was seen
+// before. Successive-halving tuner rounds, repeated figure regenerations,
+// and back-to-back `tune search` / `imb` invocations hit the cache instead
+// of re-running identical simulations.
+//
+// The cache is content-addressed: the in-memory layer maps the full key
+// string, and the optional disk layer stores one JSON entry per key under
+// sha256(key), with the key recorded inside the entry so a hash collision
+// or truncated file is detected and treated as a miss. Entries are written
+// via create-temp + rename, so concurrent cells — and concurrent
+// processes sharing a cache directory — never observe partial writes.
+// Faulty runs (Config.Fault != nil) and components without a canonical
+// configuration encoding (Comp.Key == "") are never cached.
+
+// simFingerprint names the current simulated-behavior generation and is
+// part of every cache key. Bump it whenever a change to the simulator or
+// the protocol stack (internal/sim, internal/memsim, internal/mpi,
+// internal/knem, internal/core, internal/coll/...) alters any simulated
+// timestamp or counter, so stale entries can never leak into new results.
+const simFingerprint = "sim/g2-coro"
+
+// cacheSchema versions the on-disk entry format.
+const cacheSchema = "simcache/v1"
+
+var memo struct {
+	enabled atomic.Bool
+	mu      sync.Mutex // guards dir
+	dir     string
+	mem     sync.Map // key string -> memoEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// memoEntry is one cached cell, also the on-disk JSON document. Seconds
+// and the Stats counters round-trip exactly through encoding/json
+// (shortest-representation floats, integer counters), so a cache hit is
+// bit-for-bit identical to the simulation it replaces.
+type memoEntry struct {
+	Schema  string      `json:"schema"`
+	Key     string      `json:"key"`
+	Seconds float64     `json:"seconds"`
+	Stats   trace.Stats `json:"stats"`
+}
+
+// EnableCache turns on run memoization. dir is the persistent cache
+// directory shared across processes; "" keeps the cache in-memory only
+// (per process). Enabling resets the hit/miss counters.
+func EnableCache(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: cache dir: %w", err)
+		}
+	}
+	memo.mu.Lock()
+	memo.dir = dir
+	memo.mu.Unlock()
+	memo.hits.Store(0)
+	memo.misses.Store(0)
+	memo.enabled.Store(true)
+	return nil
+}
+
+// DisableCache turns run memoization off (the default). The in-memory
+// entries are dropped; disk entries are kept for future runs.
+func DisableCache() {
+	memo.enabled.Store(false)
+	memo.mem.Clear()
+}
+
+// CacheCounts returns how many Measure calls were served from the cache
+// and how many had to simulate since the cache was last enabled.
+func CacheCounts() (hits, misses int64) {
+	return memo.hits.Load(), memo.misses.Load()
+}
+
+// memoKey builds cfg's cache key. ok is false when the cell must not be
+// cached: a fault plan is active, or the component carries no canonical
+// configuration encoding. cfg must already have NP and Iters defaulted,
+// and dec must be the effective decider (explicit or global).
+func memoKey(cfg Config, dec *tune.Decider) (string, bool) {
+	if cfg.Fault != nil || cfg.Comp.Key == "" {
+		return "", false
+	}
+	decKey := "none"
+	if dec != nil {
+		decKey = dec.Table().ContentHash()
+	}
+	return fmt.Sprintf("%s|%s|m=%s|comp=%s|btl=%d|knemmin=%d|op=%s|size=%d|np=%d|iters=%d|oc=%t|root=%d|dec=%s",
+		cacheSchema, simFingerprint, tune.Fingerprint(cfg.Machine), cfg.Comp.Key,
+		cfg.Comp.BTL, cfg.Comp.KnemMin, cfg.Op, cfg.Size, cfg.NP, cfg.Iters,
+		cfg.OffCache, cfg.Root, decKey), true
+}
+
+// entryPath shards entries by the first hash byte to keep directories flat.
+func entryPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := fmt.Sprintf("%x", sum)
+	return filepath.Join(dir, h[:2], h+".json")
+}
+
+// memoLookup consults the in-memory layer, then disk. Disk hits are
+// promoted to memory. Any read, decode, or key mismatch problem is a miss.
+func memoLookup(key string) (memoEntry, bool) {
+	if v, ok := memo.mem.Load(key); ok {
+		memo.hits.Add(1)
+		return v.(memoEntry), true
+	}
+	memo.mu.Lock()
+	dir := memo.dir
+	memo.mu.Unlock()
+	if dir != "" {
+		data, err := os.ReadFile(entryPath(dir, key))
+		if err == nil {
+			var ent memoEntry
+			if json.Unmarshal(data, &ent) == nil && ent.Schema == cacheSchema && ent.Key == key {
+				memo.mem.Store(key, ent)
+				memo.hits.Add(1)
+				return ent, true
+			}
+		}
+	}
+	memo.misses.Add(1)
+	return memoEntry{}, false
+}
+
+// memoStore records a freshly simulated cell. Disk persistence is
+// best-effort: a full or read-only cache directory costs future speed, not
+// correctness, so write errors are ignored.
+func memoStore(key string, ent memoEntry) {
+	ent.Schema, ent.Key = cacheSchema, key
+	memo.mem.Store(key, ent)
+	memo.mu.Lock()
+	dir := memo.dir
+	memo.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	path := entryPath(dir, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(&ent)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

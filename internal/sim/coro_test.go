@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeadlockReportsAllParkSites checks that a deadlock report names every
+// parked process with its park-site reason, sorted by name — the property
+// the coroutine switcher must preserve from the goroutine engine, since
+// fault-injection tests grep these strings.
+func TestDeadlockReportsAllParkSites(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("rank2", func(p *Proc) { p.Park("knem recv") })
+	e.Spawn("rank0", func(p *Proc) { p.Park("barrier") })
+	e.Spawn("rank1", func(p *Proc) {
+		sem := NewSemaphore(0)
+		sem.Acquire(p, 1)
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	want := []string{"rank0: barrier", "rank1: semaphore acquire", "rank2: knem recv"}
+	if !reflect.DeepEqual(de.Parked, want) {
+		t.Fatalf("parked = %v, want %v", de.Parked, want)
+	}
+}
+
+// TestDeadlockSkipsFinishedProcs checks that processes whose bodies have
+// returned do not show up as park sites.
+func TestDeadlockSkipsFinishedProcs(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("done", func(p *Proc) { p.Wait(1) })
+	e.Spawn("stuck", func(p *Proc) {
+		p.Wait(2)
+		p.Park("forever")
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	want := []string{"stuck: forever"}
+	if !reflect.DeepEqual(de.Parked, want) {
+		t.Fatalf("parked = %v, want %v", de.Parked, want)
+	}
+}
+
+// TestKillUnwindRunsDefers checks that killing parked processes at engine
+// teardown unwinds their bodies normally: defers run, and the unwind stays
+// confined to the process (Run still returns the deadlock, not a panic).
+func TestKillUnwindRunsDefers(t *testing.T) {
+	e := NewEngine()
+	cleaned := []string{}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			defer func() { cleaned = append(cleaned, name) }()
+			p.Park("stuck")
+		})
+	}
+	err := e.Run()
+	if _, ok := err.(*DeadlockError); !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if !reflect.DeepEqual(cleaned, []string{"a", "b"}) {
+		t.Fatalf("cleaned = %v, want both defers to have run", cleaned)
+	}
+}
+
+// TestBodyPanicPropagates checks that a genuine panic in a process body is
+// not swallowed by the kill-unwind recovery: it reaches Run's caller.
+func TestBodyPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bug", func(p *Proc) {
+		p.Wait(1)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recover() = %v, want boom", r)
+		}
+	}()
+	e.Run()
+	t.Fatal("Run returned, want panic")
+}
+
+// TestWakeNonParkedPanics checks the misuse guard: waking a process that is
+// not parked when the wake dispatches is a bug in the caller and must
+// panic rather than corrupt the coroutine state.
+func TestWakeNonParkedPanics(t *testing.T) {
+	e := NewEngine()
+	var target *Proc
+	target = e.Spawn("target", func(p *Proc) { p.Park("once") })
+	e.Spawn("waker", func(p *Proc) {
+		p.Wait(1)
+		target.Wake()
+		target.Wake() // second wake dispatches after target has finished
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Run returned, want panic from double wake")
+		}
+	}()
+	e.Run()
+}
+
+// TestParkWakeZeroAllocs pins the hot-path guarantee the coroutine
+// switcher was built for: a park/wake round trip performs no heap
+// allocations. Setup cost (engine, coroutines, pool warm-up) is identical
+// in both runs, so the allocation counts must match exactly.
+func TestParkWakeZeroAllocs(t *testing.T) {
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			e := NewEngine()
+			var w *Proc
+			w = e.Spawn("waiter", func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Park("bench")
+				}
+			})
+			e.Spawn("waker", func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					w.Wake()
+					p.Wait(1e-9)
+				}
+			})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := run(100), run(10100)
+	if large != small {
+		t.Fatalf("park/wake allocates: %v extra allocs over 10000 extra round trips", large-small)
+	}
+}
+
+// TestWaitZeroAllocs pins the same property for the timer path (pooled
+// events + prebuilt dispatch closures).
+func TestWaitZeroAllocs(t *testing.T) {
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			e := NewEngine()
+			e.Spawn("sleeper", func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Wait(1e-9)
+				}
+			})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := run(100), run(10100)
+	if large != small {
+		t.Fatalf("wait allocates: %v extra allocs over 10000 extra waits", large-small)
+	}
+}

@@ -1,10 +1,12 @@
 // Package sim provides a deterministic discrete-event simulation engine
 // with cooperative, virtual-time processes.
 //
-// Exactly one simulated process runs at any instant: the engine and the
-// process goroutines hand control back and forth over unbuffered channels,
-// so a simulation is single-threaded in effect and bit-for-bit reproducible.
-// Events scheduled for the same instant fire in scheduling order (FIFO).
+// Exactly one simulated process runs at any instant: each process body is
+// a coroutine (an iter.Pull pull-iterator) that the engine resumes and
+// that yields back when it parks, so a handoff is a direct in-thread
+// switch — no goroutine scheduler round trip — and a simulation is
+// single-threaded in effect and bit-for-bit reproducible. Events
+// scheduled for the same instant fire in scheduling order (FIFO).
 //
 // The engine detects deadlock: if the event queue drains while processes
 // are still parked, Run returns a DeadlockError naming every parked process
@@ -91,7 +93,6 @@ type Engine struct {
 	events eventHeap
 	seq    int64
 
-	yield   chan struct{} // process -> engine: "I parked/finished"
 	procs   []*Proc
 	live    int // spawned processes that have not finished
 	current *Proc
@@ -106,7 +107,7 @@ type Engine struct {
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -253,17 +254,23 @@ func (e *Engine) Run() error {
 func (e *Engine) killParked() {
 	for _, p := range e.procs {
 		if p.state == procParked {
-			p.killed = true
-			e.dispatch(p)
+			prev := e.current
+			e.current = p
+			// stop resumes the coroutine with yield reporting false; Park
+			// turns that into a procKilled unwind, running the body's
+			// deferred cleanup before stop returns.
+			p.stop()
+			e.current = prev
 		}
 	}
 }
 
-// dispatch transfers control to p and blocks until p parks or finishes.
+// dispatch transfers control to p and returns when p parks or finishes.
+// The switch is a runtime coroutine switch (iter.Pull), not a scheduler
+// round trip, so it stays on the calling OS thread.
 func (e *Engine) dispatch(p *Proc) {
 	prev := e.current
 	e.current = p
-	p.resume <- struct{}{}
-	<-e.yield
+	p.next()
 	e.current = prev
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
 
 type procState int
 
@@ -14,16 +17,26 @@ const (
 // procKilled is the panic value used to unwind killed processes.
 type procKilled struct{}
 
-// Proc is a simulated process. Its body runs on a dedicated goroutine but
-// only while the engine has dispatched it, so process code never races with
-// other processes or with the engine.
+// Proc is a simulated process. Its body runs on a coroutine backed by
+// iter.Pull: the engine resumes it with next and it suspends itself by
+// yielding, a direct in-address-space switch on the engine's own OS
+// thread. Process code therefore never races with other processes or with
+// the engine, exactly as under the historical goroutine-per-process
+// design, but a park/wake round trip costs a coroutine switch instead of
+// two trips through the Go scheduler.
 type Proc struct {
 	eng         *Engine
 	name        string
-	resume      chan struct{}
 	state       procState
 	blockReason string
-	killed      bool
+
+	// next resumes the coroutine until it parks or the body returns; stop
+	// resumes it with yield reporting false, which Park converts into a
+	// procKilled unwind. yield suspends the coroutine back into the
+	// engine's next/stop call. All three are built once at Spawn.
+	next  func() (struct{}, bool)
+	stop  func()
+	yield func(struct{}) bool
 
 	// waitFn and wakeFn are the dispatch callbacks scheduled by Wait and
 	// Wake, built once at Spawn so the hot park/wake path allocates no
@@ -35,7 +48,7 @@ type Proc struct {
 // Spawn starts fn as a new simulated process at the current time. The name
 // appears in deadlock reports.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p := &Proc{eng: e, name: name}
 	p.waitFn = func() { e.dispatch(p) }
 	p.wakeFn = func() {
 		if p.state != procParked {
@@ -43,27 +56,24 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		e.dispatch(p)
 	}
+	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		defer func() {
+			p.state = procDone
+			e.live--
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// A genuine bug in the process body: propagate to the
+					// engine's Run caller (next/stop re-raise it).
+					panic(r)
+				}
+			}
+		}()
+		p.state = procRunning
+		fn(p)
+	})
 	e.procs = append(e.procs, p)
 	e.live++
-	go func() {
-		<-p.resume
-		if !p.killed {
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						if _, ok := r.(procKilled); !ok {
-							panic(r)
-						}
-					}
-				}()
-				p.state = procRunning
-				fn(p)
-			}()
-		}
-		p.state = procDone
-		e.live--
-		e.yield <- struct{}{}
-	}()
 	e.ScheduleOwned(0, func() {
 		if p.state == procNew {
 			e.dispatch(p)
@@ -98,9 +108,9 @@ func (p *Proc) Wait(d Time) {
 func (p *Proc) Park(reason string) {
 	p.blockReason = reason
 	p.state = procParked
-	p.eng.yield <- struct{}{}
-	<-p.resume
-	if p.killed {
+	if !p.yield(struct{}{}) {
+		// The engine called stop while we were parked: unwind the body,
+		// running its defers, and let the coroutine finish.
 		panic(procKilled{})
 	}
 	p.state = procRunning

@@ -208,9 +208,7 @@ func compFor(ch tune.Choice) bench.Comp {
 		if ch.Comp == "Tuned-KNEM" {
 			btl = mpi.BTLKNEM
 		}
-		return bench.Comp{Name: name, BTL: btl, New: func(w *mpi.World) mpi.Coll {
-			return tuned.NewWithConfig(w, cfg)
-		}}
+		return bench.TunedCfg(name, btl, cfg)
 	case "MPICH2-SM":
 		return bench.MPICH2SM()
 	case "MPICH2-KNEM":

@@ -402,6 +402,20 @@ func Fingerprint(m *topology.Machine) string {
 	return fmt.Sprintf("%x", sum[:8])
 }
 
+// ContentHash returns a short stable hash of the table's canonical
+// encoding (Write's bytes). The benchmark memoization layer folds it into
+// its cache keys: runs steered by byte-identical tables share cached
+// cells, and any decision drift invalidates them.
+func (t *Table) ContentHash() string {
+	var b strings.Builder
+	if err := t.Write(&b); err != nil {
+		// A validated in-memory table always encodes; refuse to guess.
+		panic(fmt.Sprintf("tune: encoding table for hash: %v", err))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
 func sizeLabel(n int64) string {
 	switch {
 	case n >= 1<<20 && n%(1<<20) == 0:
