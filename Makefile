@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all check test test-race vet fuzz-short bench bench-smoke figures table1 results tune-smoke clean
+# Extra flags for the simbench trajectory runs. CI passes
+# SIMBENCH_FLAGS="-min-cpus 2" so the bench gate fails (rather than
+# silently measuring a degenerate trajectory) on single-core runners.
+SIMBENCH_FLAGS ?=
+
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke figures table1 results tune-smoke profile clean
 
 all: test vet
 
@@ -25,7 +30,7 @@ fuzz-short:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=100ms ./internal/sim ./internal/memsim
-	$(GO) run ./cmd/simbench -o BENCH_sim.json
+	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -o BENCH_sim.json
 
 # Regression gate: re-measure the full trajectory and fail if the process
 # handoff (sim/park_wake) or the sequential sweep wall clock regressed more
@@ -34,16 +39,38 @@ bench:
 # rewrites the baseline deliberately.
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
-	$(GO) run ./cmd/simbench -check BENCH_sim.json -tolerance 0.25 -o /tmp/BENCH_sim.current.json
+	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -check BENCH_sim.json -tolerance 0.25 -o /tmp/BENCH_sim.current.json
 
 # Regenerate every recorded artifact under results/. Output is byte-identical
 # at any -parallel level (see internal/bench/parallel.go); the sweeps are
-# pinned to -parallel 4 so multi-core hosts regenerate faster.
-results:
+# pinned to -parallel 4 so multi-core hosts regenerate faster. Every cell
+# goes through the run memoization cache (default on), so a repeated
+# `make results` with no simulator change is served almost entirely from
+# disk; pass -no-cache through the tools to force re-simulation.
+figures:
 	$(GO) run ./cmd/imb -parallel 4 -fig all -iters 1 > results/figures.txt
+
+table1:
 	$(GO) run ./cmd/asp -parallel 4 -sample 512 > results/table1.txt
+
+results: figures table1
 	$(GO) run ./cmd/imb -parallel 4 -ablation -iters 2 > results/ablations.txt
 	$(GO) run ./cmd/imb -parallel 4 -scalability -machine IG -op bcast -sizes 1M -iters 2 > results/scalability.txt
+
+# Profile the simulator hot paths: the simbench trajectory (flow churn,
+# cache model, coroutine handoff) and a small uncached IMB sweep (the full
+# collective stack) under both the CPU and allocation profilers, then print
+# a top-10 summary of each. Raw profiles land in profile/ for
+# `go tool pprof -http` digs; the allocation summary of a healthy hot path
+# attributes (almost) everything to setup, not the copy loop.
+profile:
+	mkdir -p profile
+	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -cpuprofile profile/sim.cpu.pprof -memprofile profile/sim.mem.pprof -o profile/BENCH_sim.profile.json
+	$(GO) run ./cmd/imb -no-cache -op bcast -machine Dancer -sizes 64K,1M -iters 2 -cpuprofile profile/imb.cpu.pprof -memprofile profile/imb.mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount=10 profile/sim.cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space profile/sim.mem.pprof
+	$(GO) tool pprof -top -nodecount=10 profile/imb.cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space profile/imb.mem.pprof
 
 # Autotuner smoke: search a tiny grid twice at different parallelism
 # levels with the sim cache off, assert the emitted tables are

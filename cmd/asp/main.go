@@ -29,6 +29,8 @@ func main() {
 	sample := flag.Int("sample", 512, "iterations to simulate and scale up (0 = all)")
 	verify := flag.Bool("verify", false, "run with real data and verify against the sequential solver")
 	parallel := flag.Int("parallel", 1, "concurrent simulation cells (results are identical at any level)")
+	noCache := flag.Bool("no-cache", false, "disable run memoization: re-simulate every cell")
+	cacheDir := flag.String("cache-dir", "", "persistent simulation cache directory (default: the user cache dir)")
 	flag.Parse()
 	bench.SetParallel(*parallel)
 
@@ -36,6 +38,9 @@ func main() {
 		runVerify(*n)
 		return
 	}
+	// Verification runs are real-data checks and never cached; the Table I
+	// application cells below are deterministic and memoize like any sweep.
+	cached := bench.EnableDefaultCache("asp", *noCache, *cacheDir)
 	type job struct {
 		m *topology.Machine
 		n int
@@ -62,6 +67,9 @@ func main() {
 	for _, j := range jobs {
 		bench.RunTable1(j.m, j.n, *sample).Render(os.Stdout)
 		fmt.Println()
+	}
+	if cached {
+		bench.ReportCacheCounts("asp")
 	}
 }
 

@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -82,10 +81,18 @@ func main() {
 	decisionsPath := flag.String("decisions", "", "comma-separated tuned decision tables (JSON from `tune search`) applied to matching machines")
 	noCache := flag.Bool("no-cache", false, "disable run memoization: re-simulate every cell")
 	cacheDir := flag.String("cache-dir", "", "persistent simulation cache directory (default: the user cache dir)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	jsonOut = *asJSON
 	bench.SetParallel(*parallel)
-	cached := enableSimCache("imb", *noCache, *cacheDir)
+	cached := bench.EnableDefaultCache("imb", *noCache, *cacheDir)
+	stopProfiles, err := bench.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imb:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	if *fig != "" {
 		if err := checkChoice("-fig", *fig, validFigs); err != nil {
 			fmt.Fprintln(os.Stderr, "imb:", err)
@@ -120,29 +127,8 @@ func main() {
 		os.Exit(2)
 	}
 	if cached {
-		hits, misses := bench.CacheCounts()
-		fmt.Fprintf(os.Stderr, "imb: sim cache: %d hits, %d misses\n", hits, misses)
+		bench.ReportCacheCounts("imb")
 	}
-}
-
-// enableSimCache turns on bench run memoization (unless -no-cache), using
-// dir or a per-user default directory; it reports whether the cache is on.
-// A directory failure degrades to an in-process cache, not an error: the
-// cache only ever trades speed, never results.
-func enableSimCache(prog string, noCache bool, dir string) bool {
-	if noCache {
-		return false
-	}
-	if dir == "" {
-		if base, err := os.UserCacheDir(); err == nil {
-			dir = filepath.Join(base, "repro-sim")
-		}
-	}
-	if err := bench.EnableCache(dir); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v (continuing with an in-memory cache)\n", prog, err)
-		bench.EnableCache("")
-	}
-	return true
 }
 
 // buildPlan assembles a fault.Plan from the -fault-* flags; nil when none

@@ -26,12 +26,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/tune/search"
@@ -39,8 +43,9 @@ import (
 
 const MB = 1 << 20
 
-// Report is the BENCH_sim.json schema ("bench_sim/v2"; v1 lacked the
-// tune_search section, the parallel-sweep skip annotation, and the
+// Report is the BENCH_sim.json schema ("bench_sim/v3"; v2 lacked the
+// core/bcast_cell_64KiB scenario and the zero-allocation gates, v1 lacked
+// the tune_search section, the parallel-sweep skip annotation, and the
 // channel-engine baseline).
 type Report struct {
 	Schema     string         `json:"schema"`
@@ -125,7 +130,31 @@ func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	check := flag.String("check", "", "baseline BENCH_sim.json to compare against; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "with -check: allowed relative regression before failing")
+	minCPUs := flag.Int("min-cpus", 0, "fail unless the host has at least this many CPUs (CI guard: the parallel sweep must not be skipped silently)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocations, not just live) to this file at exit")
 	flag.Parse()
+
+	if *minCPUs > 0 && runtime.NumCPU() < *minCPUs {
+		fmt.Fprintf(os.Stderr, "simbench: host has %d CPU(s), -min-cpus %d: a single-core runner would skip the parallel sweep instead of measuring it\n",
+			runtime.NumCPU(), *minCPUs)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
 
 	var base *Report
 	if *check != "" {
@@ -142,7 +171,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:           "bench_sim/v2",
+		Schema:           "bench_sim/v3",
 		GoVersion:        runtime.Version(),
 		CPUs:             runtime.NumCPU(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
@@ -167,6 +196,7 @@ func main() {
 	run("memsim/copy_churn_64KiB", benchCopyChurn)
 	run("sim/schedule_fire", benchScheduleFire)
 	run("sim/park_wake", benchParkWake)
+	run("core/bcast_cell_64KiB", benchBcastCell)
 
 	rep.Sweep = measureSweep(*short)
 	rep.TuneSearch = measureTuneSearch(*short)
@@ -184,17 +214,65 @@ func main() {
 		os.Exit(1)
 	}
 	if base != nil && !checkAgainst(&rep, base, *tolerance) {
+		// os.Exit skips the deferred profile writers; flush them first so a
+		// failing gate still leaves usable profiles behind.
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			writeMemProfile(*memProfile)
+		}
 		os.Exit(1)
+	}
+}
+
+// writeMemProfile dumps the allocation profile (alloc_space/alloc_objects
+// sample indexes included) to path.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final heap state
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
 	}
 }
 
 // checkAgainst is the bench-smoke regression gate: the handoff
 // micro-benchmark and the sequential sweep wall clock must stay within
-// tolerance of the baseline report. Comparisons whose scenarios differ
-// (short vs full sweep) are skipped with a note rather than compared
-// apples-to-oranges.
+// tolerance of the baseline report, and the zero-allocation scenarios must
+// stay at exactly 0 allocs/op — an allocation on those paths is a
+// regression however cheap it is, so no tolerance applies. Comparisons
+// whose scenarios differ (short vs full sweep) are skipped with a note
+// rather than compared apples-to-oranges.
 func checkAgainst(cur, base *Report, tol float64) bool {
 	ok := true
+	// The copy/cache hot path and the full Broadcast cell are pinned
+	// allocation-free: Pending handles, cache entries, flows, OOB
+	// envelopes, and waiter records are all pooled.
+	for _, pinned := range []string{"memsim/copy_churn_64KiB", "core/bcast_cell_64KiB"} {
+		found := false
+		for _, b := range cur.Benchmarks {
+			if b.Name != pinned {
+				continue
+			}
+			found = true
+			status := "ok"
+			if b.AllocsPerOp != 0 {
+				status = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(os.Stderr, "simbench: check: %s allocs/op: %d (pinned to 0): %s\n",
+				pinned, b.AllocsPerOp, status)
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "simbench: check: %s: scenario missing from this run\n", pinned)
+			ok = false
+		}
+	}
 	compare := func(what string, curV, baseV float64) {
 		if baseV <= 0 {
 			fmt.Fprintf(os.Stderr, "simbench: check: %s: no baseline value, skipped\n", what)
@@ -293,6 +371,36 @@ func benchParkWake(b *testing.B) {
 		}
 	})
 	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchBcastCell is one full measurement cell of the paper's component: a
+// 64 KiB KNEM-Coll Broadcast across all of Zoot's ranks per op — region
+// registration, out-of-band cookie fan-out, every receiver's kernel-assisted
+// copy, ACK collection, deregistration. The whole protocol stack (core,
+// mpi, shm, knem, memsim, sim) must stay allocation-free in steady state;
+// the warm-up iteration takes the one-time pool fills off the measurement.
+func benchBcastCell(b *testing.B) {
+	m := topology.Zoot()
+	b.ReportAllocs()
+	_, _, err := mpi.Run(mpi.Options{
+		Machine: m,
+		BTL:     mpi.BTLSM,
+		SHM:     shm.Config{FragSize: 128 << 10},
+		Coll:    core.New,
+	}, func(r *mpi.Rank) {
+		buf := r.Alloc(64 << 10).Whole()
+		r.Bcast(buf, 0) // warm-up: fill the free lists
+		r.Barrier()
+		if r.ID() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			r.Bcast(buf, 0)
+		}
+	})
+	if err != nil {
 		b.Fatal(err)
 	}
 }

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,24 +63,6 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// enableSimCache turns on bench run memoization (unless -no-cache), using
-// dir or a per-user default directory; it reports whether the cache is on.
-func enableSimCache(prog string, noCache bool, dir string) bool {
-	if noCache {
-		return false
-	}
-	if dir == "" {
-		if base, err := os.UserCacheDir(); err == nil {
-			dir = filepath.Join(base, "repro-sim")
-		}
-	}
-	if err := bench.EnableCache(dir); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v (continuing with an in-memory cache)\n", prog, err)
-		bench.EnableCache("")
-	}
-	return true
-}
-
 func cmdSearch(args []string) {
 	fs := flag.NewFlagSet("tune search", flag.ExitOnError)
 	machine := fs.String("machine", "IG", "machine to tune: Zoot, Dancer, Saturn, IG, or a machine-description file")
@@ -96,9 +77,16 @@ func cmdSearch(args []string) {
 	quiet := fs.Bool("q", false, "suppress progress logging")
 	noCache := fs.Bool("no-cache", false, "disable run memoization: re-simulate every cell")
 	cacheDir := fs.String("cache-dir", "", "persistent simulation cache directory (default: the user cache dir)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	fs.Parse(args)
 	bench.SetParallel(*parallel)
-	cached := enableSimCache("tune", *noCache, *cacheDir)
+	cached := bench.EnableDefaultCache("tune", *noCache, *cacheDir)
+	stopProfiles, err := bench.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	m, err := topology.LoadMachine(*machine)
 	if err != nil {

@@ -245,7 +245,7 @@ func Measure(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("bench: %s/%s/%s/%d: %w", cfg.Machine.Name, cfg.Comp.Name, cfg.Op, cfg.Size, err)
 	}
-	res := Result{Config: cfg, Seconds: 0, Stats: *stats}
+	res := Result{Config: cfg, Seconds: 0, Stats: stats.Snapshot()}
 	for _, v := range perRank {
 		if v > res.Seconds {
 			res.Seconds = v

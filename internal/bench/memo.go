@@ -88,6 +88,34 @@ func DisableCache() {
 	memo.mem.Clear()
 }
 
+// EnableDefaultCache turns on run memoization (unless noCache), using dir
+// or a per-user default directory; it reports whether the cache is on. A
+// directory failure degrades to an in-process cache, not an error: the
+// cache only ever trades speed, never results. This is the shared flag
+// plumbing behind the -no-cache/-cache-dir flags of imb, tune, and asp.
+func EnableDefaultCache(prog string, noCache bool, dir string) bool {
+	if noCache {
+		return false
+	}
+	if dir == "" {
+		if base, err := os.UserCacheDir(); err == nil {
+			dir = filepath.Join(base, "repro-sim")
+		}
+	}
+	if err := EnableCache(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v (continuing with an in-memory cache)\n", prog, err)
+		EnableCache("")
+	}
+	return true
+}
+
+// ReportCacheCounts prints the hit/miss summary the cache-enabled commands
+// emit on exit.
+func ReportCacheCounts(prog string) {
+	hits, misses := CacheCounts()
+	fmt.Fprintf(os.Stderr, "%s: sim cache: %d hits, %d misses\n", prog, hits, misses)
+}
+
 // CacheCounts returns how many Measure calls were served from the cache
 // and how many had to simulate since the cache was last enabled.
 func CacheCounts() (hits, misses int64) {
@@ -150,6 +178,15 @@ func memoLookup(key string) (memoEntry, bool) {
 func memoStore(key string, ent memoEntry) {
 	ent.Schema, ent.Key = cacheSchema, key
 	memo.mem.Store(key, ent)
+	if data, err := json.Marshal(&ent); err == nil {
+		writeEntryFile(key, data)
+	}
+}
+
+// writeEntryFile persists one encoded entry under the disk layer's path for
+// key, via create-temp + rename so concurrent writers never leave partial
+// files. No-op without a disk directory; errors cost speed, not results.
+func writeEntryFile(key string, data []byte) {
 	memo.mu.Lock()
 	dir := memo.dir
 	memo.mu.Unlock()
@@ -158,10 +195,6 @@ func memoStore(key string, ent memoEntry) {
 	}
 	path := entryPath(dir, key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return
-	}
-	data, err := json.Marshal(&ent)
-	if err != nil {
 		return
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
@@ -176,5 +209,61 @@ func memoStore(key string, ent memoEntry) {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+	}
+}
+
+// rawMemoEntry carries a memoized cell whose payload is not a Measure
+// (seconds, stats) pair — e.g. the ASP application cells of Table I. Same
+// key discipline, disk layout, and atomicity as memoEntry.
+type rawMemoEntry struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// memoLookupJSON consults the cache for key, decoding the payload into
+// out; it reports whether the cell was served from the cache.
+func memoLookupJSON(key string, out any) bool {
+	if !memo.enabled.Load() {
+		return false
+	}
+	if v, ok := memo.mem.Load(key); ok {
+		if ent, ok := v.(rawMemoEntry); ok && json.Unmarshal(ent.Value, out) == nil {
+			memo.hits.Add(1)
+			return true
+		}
+	}
+	memo.mu.Lock()
+	dir := memo.dir
+	memo.mu.Unlock()
+	if dir != "" {
+		data, err := os.ReadFile(entryPath(dir, key))
+		if err == nil {
+			var ent rawMemoEntry
+			if json.Unmarshal(data, &ent) == nil && ent.Schema == cacheSchema && ent.Key == key &&
+				json.Unmarshal(ent.Value, out) == nil {
+				memo.mem.Store(key, ent)
+				memo.hits.Add(1)
+				return true
+			}
+		}
+	}
+	memo.misses.Add(1)
+	return false
+}
+
+// memoStoreJSON records a freshly computed non-Measure cell.
+func memoStoreJSON(key string, v any) {
+	if !memo.enabled.Load() {
+		return
+	}
+	value, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ent := rawMemoEntry{Schema: cacheSchema, Key: key, Value: value}
+	memo.mem.Store(key, ent)
+	if data, err := json.Marshal(&ent); err == nil {
+		writeEntryFile(key, data)
 	}
 }

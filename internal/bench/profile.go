@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles is the shared plumbing behind the -cpuprofile/-memprofile
+// flags of the command-line tools: it starts a CPU profile at cpuPath
+// and/or arranges an allocation profile at memPath (either may be empty).
+// The returned stop function flushes both; call it before the process
+// exits, including on failure exits (os.Exit skips defers).
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				return
+			}
+			defer f.Close()
+			// The "allocs" profile records every allocation since process
+			// start (sample indexes alloc_space/alloc_objects), which is
+			// what a zero-allocation hot path investigation needs; a GC
+			// first also makes the inuse indexes meaningful.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+			}
+		}
+	}, nil
+}

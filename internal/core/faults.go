@@ -69,7 +69,7 @@ func (c *Component) enter(r *mpi.Rank) {
 func (c *Component) tryCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) (knem.Cookie, bool) {
 	in := c.injector()
 	for attempt := 0; ; attempt++ {
-		ck, err := c.w.Knem().Create(r.Proc(), r.ID(), []memsim.View{v}, dir)
+		ck, err := c.w.Knem().CreateView(r.Proc(), r.ID(), v, dir)
 		switch {
 		case err == nil:
 			return ck, true
@@ -88,7 +88,7 @@ func (c *Component) tryCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) (k
 func (c *Component) tryCopy(r *mpi.Rank, local memsim.View, ck knem.Cookie, off int64, dir knem.Direction) error {
 	in := c.injector()
 	for attempt := 0; ; attempt++ {
-		err := c.w.Knem().Copy(r.Proc(), r.Core(), []memsim.View{local}, ck, off, dir)
+		err := c.w.Knem().CopyView(r.Proc(), r.Core(), local, ck, off, dir)
 		switch {
 		case err == nil:
 			return nil
@@ -165,7 +165,7 @@ func (c *Component) bcastLinearFault(r *mpi.Rank, v memsim.View, root int) {
 			c.noteFallback(r, "bcast-linear")
 			for i := 0; i < p; i++ {
 				if i != root {
-					r.SendOOB(i, tag, cookieMsg{})
+					r.SendOOB(i, tag, c.ck(cookieMsg{}))
 				}
 			}
 			c.fb.Bcast(r, v, root)
@@ -173,7 +173,7 @@ func (c *Component) bcastLinearFault(r *mpi.Rank, v memsim.View, root int) {
 		}
 		for i := 0; i < p; i++ {
 			if i != root {
-				r.SendOOB(i, tag, cookieMsg{cookie: ck, n: v.Len})
+				r.SendOOB(i, tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 			}
 		}
 		c.collectAndResend(r, v, tag+1, tag+2, p-1, "bcast-linear")
@@ -181,7 +181,7 @@ func (c *Component) bcastLinearFault(r *mpi.Rank, v memsim.View, root int) {
 		return
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	if opFallback(cm) {
 		c.fb.Bcast(r, v, root)
 		return
@@ -229,7 +229,7 @@ func (c *Component) scatterKnemFault(r *mpi.Rank, send memsim.View, scounts, sdi
 			c.noteFallback(r, "scatter")
 			for i := 0; i < p; i++ {
 				if i != root {
-					r.SendOOB(i, tag, cookieMsg{})
+					r.SendOOB(i, tag, c.ck(cookieMsg{}))
 				}
 			}
 			c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
@@ -237,7 +237,7 @@ func (c *Component) scatterKnemFault(r *mpi.Rank, send memsim.View, scounts, sdi
 		}
 		for i := 0; i < p; i++ {
 			if i != root {
-				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: sdispls[i], n: scounts[i]})
+				r.SendOOB(i, tag, c.ck(cookieMsg{cookie: ck, off: sdispls[i], n: scounts[i]}))
 			}
 		}
 		r.LocalCopy(recv.SubView(0, scounts[root]), coll.VBlock(send, scounts, sdispls, root))
@@ -257,7 +257,7 @@ func (c *Component) scatterKnemFault(r *mpi.Rank, send memsim.View, scounts, sdi
 		return
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	if opFallback(cm) {
 		c.fb.Scatterv(r, send, scounts, sdispls, recv, root)
 		return
@@ -286,7 +286,7 @@ func (c *Component) gatherKnemFault(r *mpi.Rank, send, recv memsim.View, rcounts
 			c.noteFallback(r, "gather")
 			for i := 0; i < p; i++ {
 				if i != root {
-					r.SendOOB(i, tag, cookieMsg{})
+					r.SendOOB(i, tag, c.ck(cookieMsg{}))
 				}
 			}
 			c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
@@ -294,7 +294,7 @@ func (c *Component) gatherKnemFault(r *mpi.Rank, send, recv memsim.View, rcounts
 		}
 		for i := 0; i < p; i++ {
 			if i != root {
-				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: rdispls[i], n: rcounts[i]})
+				r.SendOOB(i, tag, c.ck(cookieMsg{cookie: ck, off: rdispls[i], n: rcounts[i]}))
 			}
 		}
 		r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, root), send.SubView(0, rcounts[root]))
@@ -314,7 +314,7 @@ func (c *Component) gatherKnemFault(r *mpi.Rank, send, recv memsim.View, rcounts
 		return
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	if opFallback(cm) {
 		c.fb.Gatherv(r, send, recv, rcounts, rdispls, root)
 		return
@@ -434,9 +434,9 @@ func (c *Component) allgatherRingFault(r *mpi.Rank, send, recv memsim.View, rcou
 		ck = 0
 		c.noteFallback(r, "allgather-ring")
 	}
-	r.SendOOB(right, tag, cookieMsg{cookie: ck, n: recv.Len})
+	r.SendOOB(right, tag, c.ck(cookieMsg{cookie: ck, n: recv.Len}))
 	msg, _ := r.RecvOOB(left, tag)
-	leftCk := msg.(cookieMsg).cookie
+	leftCk := c.cookieOf(msg).cookie
 	leftDead := leftCk == 0
 
 	// service answers one pending resend request from the right neighbor.
@@ -538,20 +538,20 @@ func (c *Component) bcastHierarchicalFault(r *mpi.Rank, v memsim.View, root int)
 		if !ok {
 			c.noteFallback(r, "bcast-hier")
 			for _, t := range targets {
-				r.SendOOB(t, tag, cookieMsg{})
+				r.SendOOB(t, tag, c.ck(cookieMsg{}))
 			}
 			c.fb.Bcast(r, v, root)
 			return
 		}
 		for _, t := range targets {
-			r.SendOOB(t, tag, cookieMsg{cookie: ck, n: v.Len})
+			r.SendOOB(t, tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 		}
 		c.collectAndResend(r, v, tag+1, tag+5, len(targets), "bcast-hier")
 		c.destroyQuiet(r, ck)
 
 	case myDom == rootDom:
 		msg, _ := r.RecvOOB(root, tag)
-		cm := msg.(cookieMsg)
+		cm := c.cookieOf(msg)
 		if opFallback(cm) {
 			c.fb.Bcast(r, v, root)
 			return
@@ -580,10 +580,10 @@ func (c *Component) bcastLeaderFault(r *mpi.Rank, v memsim.View, root, tag int, 
 		}
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	if opFallback(cm) {
 		for _, l := range leaves {
-			r.SendOOB(l, tag+2, cookieMsg{})
+			r.SendOOB(l, tag+2, c.ck(cookieMsg{}))
 		}
 		c.fb.Bcast(r, v, root)
 		return
@@ -603,14 +603,14 @@ func (c *Component) bcastLeaderFault(r *mpi.Rank, v memsim.View, root, tag int, 
 	ownCk, haveRegion := c.tryCreate(r, v, knem.DirRead)
 	if haveRegion {
 		for _, l := range leaves {
-			r.SendOOB(l, tag+2, cookieMsg{cookie: ownCk, n: v.Len})
+			r.SendOOB(l, tag+2, c.ck(cookieMsg{cookie: ownCk, n: v.Len}))
 		}
 	} else {
 		// No region for the leaves: announce streaming mode (zero cookie,
 		// nonzero length) and push each segment point-to-point instead.
 		c.noteFallback(r, "bcast-hier-leader")
 		for _, l := range leaves {
-			r.SendOOB(l, tag+2, cookieMsg{n: v.Len})
+			r.SendOOB(l, tag+2, c.ck(cookieMsg{n: v.Len}))
 		}
 	}
 
@@ -629,7 +629,7 @@ func (c *Component) bcastLeaderFault(r *mpi.Rank, v memsim.View, root, tag int, 
 		}
 		if haveRegion {
 			for _, l := range leaves {
-				r.SendOOB(l, tag+3, segReady{seg: s})
+				r.SendOOB(l, tag+3, c.sg(s))
 			}
 		} else {
 			for _, l := range leaves {
@@ -650,7 +650,7 @@ func (c *Component) bcastLeaderFault(r *mpi.Rank, v memsim.View, root, tag int, 
 
 func (c *Component) bcastLeafFault(r *mpi.Rank, v memsim.View, root, leader, tag int, seg int64) {
 	msg, _ := r.RecvOOB(leader, tag+2)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	if opFallback(cm) {
 		c.fb.Bcast(r, v, root)
 		return
@@ -669,7 +669,7 @@ func (c *Component) bcastLeafFault(r *mpi.Rank, v memsim.View, root, leader, tag
 		// Always consume the notification: the leader keeps sending them
 		// even after this leaf lost the region.
 		ready, _ := r.RecvOOB(leader, tag+3)
-		if got := ready.(segReady).seg; got != s {
+		if got := c.segOf(ready); got != s {
 			panic("core: pipeline segment out of order")
 		}
 		if alive {
@@ -713,22 +713,22 @@ func (c *Component) bcastMultiLevelFault(r *mpi.Rank, v memsim.View, root int) {
 		if !ok {
 			c.noteFallback(r, "bcast-multilevel")
 			for _, ch := range role.children {
-				r.SendOOB(ch, tag, cookieMsg{})
+				r.SendOOB(ch, tag, c.ck(cookieMsg{}))
 			}
 			c.fb.Bcast(r, v, root)
 			return
 		}
 		for _, ch := range role.children {
-			r.SendOOB(ch, tag, cookieMsg{cookie: ck, n: v.Len})
+			r.SendOOB(ch, tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 		}
 		for _, ch := range role.children {
 			if len(rolesAll[ch].children) == 0 {
-				r.SendOOB(ch, tag+3, segReady{seg: wholeBuffer})
+				r.SendOOB(ch, tag+3, c.sg(wholeBuffer))
 				continue
 			}
 			s := 0
 			eachSegment(v.Len, seg, func(off, n int64) {
-				r.SendOOB(ch, tag+3, segReady{seg: s})
+				r.SendOOB(ch, tag+3, c.sg(s))
 				s++
 			})
 		}
@@ -738,10 +738,10 @@ func (c *Component) bcastMultiLevelFault(r *mpi.Rank, v memsim.View, root int) {
 	}
 
 	msg, _ := r.RecvOOB(role.parent, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	if opFallback(cm) {
 		for _, ch := range role.children {
-			r.SendOOB(ch, tag, cookieMsg{})
+			r.SendOOB(ch, tag, c.ck(cookieMsg{}))
 		}
 		c.fb.Bcast(r, v, root)
 		return
@@ -757,12 +757,12 @@ func (c *Component) bcastMultiLevelFault(r *mpi.Rank, v memsim.View, root int) {
 	ownCk, haveRegion := c.tryCreate(r, v, knem.DirRead)
 	if haveRegion {
 		for _, ch := range role.children {
-			r.SendOOB(ch, tag, cookieMsg{cookie: ownCk, n: v.Len})
+			r.SendOOB(ch, tag, c.ck(cookieMsg{cookie: ownCk, n: v.Len}))
 		}
 	} else {
 		c.noteFallback(r, "bcast-multilevel-relay")
 		for _, ch := range role.children {
-			r.SendOOB(ch, tag, cookieMsg{n: v.Len})
+			r.SendOOB(ch, tag, c.ck(cookieMsg{n: v.Len}))
 		}
 	}
 
@@ -775,7 +775,7 @@ func (c *Component) bcastMultiLevelFault(r *mpi.Rank, v memsim.View, root int) {
 			r.Recv(role.parent, tag+5, v.SubView(off, n))
 		} else {
 			ready, _ := r.RecvOOB(role.parent, tag+3)
-			if ready.(segReady).seg != s {
+			if c.segOf(ready) != s {
 				panic("core: multilevel segment out of order")
 			}
 			if parentOK {
@@ -789,7 +789,7 @@ func (c *Component) bcastMultiLevelFault(r *mpi.Rank, v memsim.View, root int) {
 		}
 		if haveRegion {
 			for _, ch := range role.children {
-				r.SendOOB(ch, tag+3, segReady{seg: s})
+				r.SendOOB(ch, tag+3, c.sg(s))
 			}
 		} else {
 			for _, ch := range role.children {
@@ -820,7 +820,7 @@ func (c *Component) mlLeafFault(r *mpi.Rank, v memsim.View, parent int, parentCk
 		return
 	}
 	first, _ := r.RecvOOB(parent, tag+3)
-	if first.(segReady).seg == wholeBuffer {
+	if c.segOf(first) == wholeBuffer {
 		if err := c.tryCopy(r, v, parentCk, 0, knem.DirRead); err != nil {
 			r.SendOOB(parent, tag+1, respMsg{ok: false})
 			r.Recv(parent, tag+5, v)
@@ -835,7 +835,7 @@ func (c *Component) mlLeafFault(r *mpi.Rank, v memsim.View, parent int, parentCk
 	eachSegment(v.Len, seg, func(off, n int64) {
 		if s > 0 {
 			ready, _ := r.RecvOOB(parent, tag+3)
-			if ready.(segReady).seg != s {
+			if c.segOf(ready) != s {
 				panic("core: multilevel segment out of order")
 			}
 		}

@@ -48,13 +48,13 @@ func (c *Component) bcastHierarchical(r *mpi.Rank, v memsim.View, root int) {
 		targets := 0
 		for _, m := range c.members[rootDom] {
 			if m != root {
-				r.SendOOB(m, tag, cookieMsg{cookie: ck, n: v.Len})
+				r.SendOOB(m, tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 				targets++
 			}
 		}
 		for d := range c.members {
 			if d != rootDom && len(c.members[d]) > 0 {
-				r.SendOOB(leaderOf(d), tag, cookieMsg{cookie: ck, n: v.Len})
+				r.SendOOB(leaderOf(d), tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 				targets++
 			}
 		}
@@ -63,7 +63,7 @@ func (c *Component) bcastHierarchical(r *mpi.Rank, v memsim.View, root int) {
 	case myDom == rootDom:
 		// Local leaf of the root's domain: one direct full read.
 		msg, _ := r.RecvOOB(root, tag)
-		cm := msg.(cookieMsg)
+		cm := c.cookieOf(msg)
 		c.mustCopy(r, v, cm.cookie, 0, knem.DirRead)
 		r.SendOOB(root, tag+1, ackMsg{})
 
@@ -86,7 +86,7 @@ func (c *Component) bcastLeader(r *mpi.Rank, v memsim.View, root, tag int, seg i
 		}
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	rootCk := msg.(cookieMsg).cookie
+	rootCk := c.cookieOf(msg).cookie
 
 	if len(leaves) == 0 {
 		// Alone on the domain: a single full read, no local level.
@@ -96,7 +96,7 @@ func (c *Component) bcastLeader(r *mpi.Rank, v memsim.View, root, tag int, seg i
 	}
 	ownCk := c.mustCreate(r, v, knem.DirRead)
 	for _, l := range leaves {
-		r.SendOOB(l, tag+2, cookieMsg{cookie: ownCk, n: v.Len})
+		r.SendOOB(l, tag+2, c.ck(cookieMsg{cookie: ownCk, n: v.Len}))
 	}
 	s := 0
 	for off := int64(0); off < v.Len; off += seg {
@@ -106,7 +106,7 @@ func (c *Component) bcastLeader(r *mpi.Rank, v memsim.View, root, tag int, seg i
 		}
 		c.mustCopy(r, v.SubView(off, n), rootCk, off, knem.DirRead)
 		for _, l := range leaves {
-			r.SendOOB(l, tag+3, segReady{seg: s})
+			r.SendOOB(l, tag+3, c.sg(s))
 		}
 		s++
 	}
@@ -120,7 +120,7 @@ func (c *Component) bcastLeader(r *mpi.Rank, v memsim.View, root, tag int, seg i
 // leader announces it.
 func (c *Component) bcastLeaf(r *mpi.Rank, v memsim.View, leader, tag int, seg int64) {
 	msg, _ := r.RecvOOB(leader, tag+2)
-	ck := msg.(cookieMsg).cookie
+	ck := c.cookieOf(msg).cookie
 	s := 0
 	for off := int64(0); off < v.Len; off += seg {
 		n := seg
@@ -128,7 +128,7 @@ func (c *Component) bcastLeaf(r *mpi.Rank, v memsim.View, leader, tag int, seg i
 			n = rem
 		}
 		ready, _ := r.RecvOOB(leader, tag+3)
-		if got := ready.(segReady).seg; got != s {
+		if got := c.segOf(ready); got != s {
 			panic("core: pipeline segment out of order")
 		}
 		c.mustCopy(r, v.SubView(off, n), ck, off, knem.DirRead)

@@ -133,6 +133,15 @@ type Component struct {
 	// LazySync is on: outstanding ACK count, their tag, and the region
 	// to deregister once they are in.
 	pending map[int]*pendingSync
+	// Free lists for the hot out-of-band envelopes. Sending a bare
+	// cookieMsg or segReady boxes it into an interface — one heap
+	// allocation per control message. The protocols instead send pooled
+	// pointers: the receiver unboxes the value and returns the envelope
+	// (cookieOf/segOf), so steady-state collectives allocate nothing for
+	// control traffic. The component is shared by every rank of one
+	// single-threaded simulated world, so no locking is needed.
+	ckPool []*cookieMsg
+	sgPool []*segReady
 }
 
 type pendingSync struct {
@@ -301,15 +310,62 @@ type (
 	}
 )
 
+// ck boxes a cookieMsg into a pooled envelope for SendOOB; the receiver
+// unboxes and recycles it with cookieOf.
+func (c *Component) ck(m cookieMsg) *cookieMsg {
+	var p *cookieMsg
+	if k := len(c.ckPool); k > 0 {
+		p = c.ckPool[k-1]
+		c.ckPool[k-1] = nil
+		c.ckPool = c.ckPool[:k-1]
+	} else {
+		p = new(cookieMsg)
+	}
+	*p = m
+	return p
+}
+
+// cookieOf unboxes a received cookie envelope and returns it to the pool.
+func (c *Component) cookieOf(msg any) cookieMsg {
+	p := msg.(*cookieMsg)
+	m := *p
+	*p = cookieMsg{}
+	c.ckPool = append(c.ckPool, p)
+	return m
+}
+
+// sg boxes a segment notification into a pooled envelope.
+func (c *Component) sg(s int) *segReady {
+	var p *segReady
+	if k := len(c.sgPool); k > 0 {
+		p = c.sgPool[k-1]
+		c.sgPool[k-1] = nil
+		c.sgPool = c.sgPool[:k-1]
+	} else {
+		p = new(segReady)
+	}
+	p.seg = s
+	return p
+}
+
+// segOf unboxes a received segment notification and returns it to the pool.
+func (c *Component) segOf(msg any) int {
+	p := msg.(*segReady)
+	s := p.seg
+	p.seg = 0
+	c.sgPool = append(c.sgPool, p)
+	return s
+}
+
 func (c *Component) mustCopy(r *mpi.Rank, local memsim.View, ck knem.Cookie, off int64, dir knem.Direction) {
-	err := c.w.Knem().Copy(r.Proc(), r.Core(), []memsim.View{local}, ck, off, dir)
+	err := c.w.Knem().CopyView(r.Proc(), r.Core(), local, ck, off, dir)
 	if err != nil {
 		panic(fmt.Sprintf("core: rank %d knem copy: %v", r.ID(), err))
 	}
 }
 
 func (c *Component) mustCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) knem.Cookie {
-	ck, err := c.w.Knem().Create(r.Proc(), r.ID(), []memsim.View{v}, dir)
+	ck, err := c.w.Knem().CreateView(r.Proc(), r.ID(), v, dir)
 	if err != nil {
 		panic(fmt.Sprintf("core: rank %d knem create: %v", r.ID(), err))
 	}
@@ -360,14 +416,14 @@ func (c *Component) bcastLinear(r *mpi.Rank, v memsim.View, root int) {
 		ck := c.mustCreate(r, v, knem.DirRead)
 		for i := 0; i < p; i++ {
 			if i != root {
-				r.SendOOB(i, tag, cookieMsg{cookie: ck, n: v.Len})
+				r.SendOOB(i, tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 			}
 		}
 		c.finishRoot(r, ck, tag+1, p-1)
 		return
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	c.mustCopy(r, v, cm.cookie, cm.off, knem.DirRead)
 	r.SendOOB(root, tag+1, ackMsg{})
 }
@@ -407,7 +463,7 @@ func (c *Component) scatterKnem(r *mpi.Rank, send memsim.View, scounts, sdispls 
 		ck := c.mustCreate(r, send, knem.DirRead)
 		for i := 0; i < p; i++ {
 			if i != root {
-				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: sdispls[i], n: scounts[i]})
+				r.SendOOB(i, tag, c.ck(cookieMsg{cookie: ck, off: sdispls[i], n: scounts[i]}))
 			}
 		}
 		r.LocalCopy(recv.SubView(0, scounts[root]), coll.VBlock(send, scounts, sdispls, root))
@@ -415,7 +471,7 @@ func (c *Component) scatterKnem(r *mpi.Rank, send memsim.View, scounts, sdispls 
 		return
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	c.mustCopy(r, recv.SubView(0, cm.n), cm.cookie, cm.off, knem.DirRead)
 	r.SendOOB(root, tag+1, ackMsg{})
 }
@@ -456,7 +512,7 @@ func (c *Component) gatherKnem(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 		ck := c.mustCreate(r, recv, knem.DirWrite)
 		for i := 0; i < p; i++ {
 			if i != root {
-				r.SendOOB(i, tag, cookieMsg{cookie: ck, off: rdispls[i], n: rcounts[i]})
+				r.SendOOB(i, tag, c.ck(cookieMsg{cookie: ck, off: rdispls[i], n: rcounts[i]}))
 			}
 		}
 		r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, root), send.SubView(0, rcounts[root]))
@@ -467,7 +523,7 @@ func (c *Component) gatherKnem(r *mpi.Rank, send, recv memsim.View, rcounts, rdi
 		return
 	}
 	msg, _ := r.RecvOOB(root, tag)
-	cm := msg.(cookieMsg)
+	cm := c.cookieOf(msg)
 	c.mustCopy(r, send.SubView(0, cm.n), cm.cookie, cm.off, knem.DirWrite)
 	r.SendOOB(root, tag+1, ackMsg{})
 }

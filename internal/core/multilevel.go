@@ -119,7 +119,7 @@ func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
 	if me == root {
 		ck := c.mustCreate(r, v, knem.DirRead)
 		for _, ch := range role.children {
-			r.SendOOB(ch, tag, cookieMsg{cookie: ck, n: v.Len})
+			r.SendOOB(ch, tag, c.ck(cookieMsg{cookie: ck, n: v.Len}))
 		}
 		// The root's data is complete: leaves under it read in one copy,
 		// relays under it still pace themselves per segment so their own
@@ -127,12 +127,12 @@ func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
 		rolesAll := c.multiLevelRoles(root)
 		for _, ch := range role.children {
 			if len(rolesAll[ch].children) == 0 {
-				r.SendOOB(ch, tag+3, segReady{seg: wholeBuffer})
+				r.SendOOB(ch, tag+3, c.sg(wholeBuffer))
 				continue
 			}
 			s := 0
 			eachSegment(v.Len, seg, func(off, n int64) {
-				r.SendOOB(ch, tag+3, segReady{seg: s})
+				r.SendOOB(ch, tag+3, c.sg(s))
 				s++
 			})
 		}
@@ -142,13 +142,13 @@ func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
 
 	// Relay or leaf.
 	msg, _ := r.RecvOOB(role.parent, tag)
-	parentCk := msg.(cookieMsg).cookie
+	parentCk := c.cookieOf(msg).cookie
 
 	if len(role.children) == 0 {
 		// Leaf: whole-buffer read if the parent has everything, else
 		// follow the segment notifications.
 		first, _ := r.RecvOOB(role.parent, tag+3)
-		if first.(segReady).seg == wholeBuffer {
+		if c.segOf(first) == wholeBuffer {
 			c.mustCopy(r, v, parentCk, 0, knem.DirRead)
 			r.SendOOB(role.parent, tag+1, ackMsg{})
 			return
@@ -157,7 +157,7 @@ func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
 		eachSegment(v.Len, seg, func(off, n int64) {
 			if s > 0 {
 				ready, _ := r.RecvOOB(role.parent, tag+3)
-				if ready.(segReady).seg != s {
+				if c.segOf(ready) != s {
 					panic("core: multilevel segment out of order")
 				}
 			}
@@ -170,17 +170,17 @@ func (c *Component) bcastMultiLevel(r *mpi.Rank, v memsim.View, root int) {
 
 	ownCk := c.mustCreate(r, v, knem.DirRead)
 	for _, ch := range role.children {
-		r.SendOOB(ch, tag, cookieMsg{cookie: ownCk, n: v.Len})
+		r.SendOOB(ch, tag, c.ck(cookieMsg{cookie: ownCk, n: v.Len}))
 	}
 	s := 0
 	eachSegment(v.Len, seg, func(off, n int64) {
 		ready, _ := r.RecvOOB(role.parent, tag+3)
-		if ready.(segReady).seg != s {
+		if c.segOf(ready) != s {
 			panic("core: multilevel segment out of order")
 		}
 		c.mustCopy(r, v.SubView(off, n), parentCk, off, knem.DirRead)
 		for _, ch := range role.children {
-			r.SendOOB(ch, tag+3, segReady{seg: s})
+			r.SendOOB(ch, tag+3, c.sg(s))
 		}
 		s++
 	})

@@ -43,9 +43,9 @@ func (c *Component) allgatherRing(r *mpi.Rank, send, recv memsim.View, rcounts, 
 
 	r.LocalCopy(coll.VBlock(recv, rcounts, rdispls, me), send.SubView(0, rcounts[me]))
 	ck := c.mustCreate(r, recv, knem.DirRead)
-	r.SendOOB(right, tag, cookieMsg{cookie: ck, n: recv.Len})
+	r.SendOOB(right, tag, c.ck(cookieMsg{cookie: ck, n: recv.Len}))
 	msg, _ := r.RecvOOB(left, tag)
-	leftCk := msg.(cookieMsg).cookie
+	leftCk := c.cookieOf(msg).cookie
 
 	// Step 0 needs no token: the left neighbor's own block is in place
 	// before its cookie is published.

@@ -37,6 +37,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Direction is a permission bitmask on regions and the access mode of a
@@ -87,9 +88,17 @@ func (r *Region) Len() int64 { return r.total }
 // Module is one node's KNEM driver instance.
 type Module struct {
 	net     *memsim.Net
+	stats   *trace.Stats
 	regions map[Cookie]*Region
 	next    Cookie
 	inj     *fault.Injector
+
+	// Free lists: destroyed Regions and the per-copy view scratch slices
+	// used by slice/resolve. View slices are per-call (taken on entry,
+	// returned on exit) because Copy parks mid-call and concurrent copies
+	// interleave; a single shared scratch would be clobbered.
+	regionPool []*Region
+	viewPool   [][]memsim.View
 }
 
 // SetInjector attaches a fault injector; nil (the default) disables
@@ -101,7 +110,47 @@ func (m *Module) Injector() *fault.Injector { return m.inj }
 
 // New attaches a module to a memory system.
 func New(net *memsim.Net) *Module {
-	return &Module{net: net, regions: make(map[Cookie]*Region)}
+	return &Module{net: net, stats: net.Stats(), regions: make(map[Cookie]*Region)}
+}
+
+// newRegion takes a Region from the pool (segs capacity preserved) or
+// allocates one.
+func (m *Module) newRegion() *Region {
+	if k := len(m.regionPool); k > 0 {
+		r := m.regionPool[k-1]
+		m.regionPool[k-1] = nil
+		m.regionPool = m.regionPool[:k-1]
+		return r
+	}
+	return &Region{}
+}
+
+// freeRegion recycles a region no longer reachable from the cookie table.
+func (m *Module) freeRegion(r *Region) {
+	segs := r.segs[:0]
+	for i := range r.segs {
+		r.segs[i] = memsim.View{}
+	}
+	*r = Region{segs: segs}
+	m.regionPool = append(m.regionPool, r)
+}
+
+// getViews takes a scratch view slice from the pool; putViews returns it.
+func (m *Module) getViews() []memsim.View {
+	if k := len(m.viewPool); k > 0 {
+		vs := m.viewPool[k-1]
+		m.viewPool[k-1] = nil
+		m.viewPool = m.viewPool[:k-1]
+		return vs[:0]
+	}
+	return nil
+}
+
+func (m *Module) putViews(vs []memsim.View) {
+	for i := range vs {
+		vs[i] = memsim.View{}
+	}
+	m.viewPool = append(m.viewPool, vs[:0])
 }
 
 // Net returns the underlying memory simulator.
@@ -111,7 +160,7 @@ func (m *Module) Net() *memsim.Net { return m.net }
 func (m *Module) ActiveRegions() int { return len(m.regions) }
 
 func (m *Module) trap(p *sim.Proc) {
-	m.net.Stats().KernelTraps++
+	m.stats.KernelTraps++
 	p.Wait(m.net.Machine().Spec.KernelTrap)
 }
 
@@ -144,10 +193,21 @@ func (m *Module) Create(p *sim.Proc, owner int, views []memsim.View, dir Directi
 	}
 	p.Wait(float64(pages) * m.net.Machine().Spec.PinPerPage)
 	m.next++
-	r := &Region{cookie: m.next, owner: owner, segs: views, dir: dir, total: total, pages: pages}
+	r := m.newRegion()
+	r.cookie, r.owner, r.dir, r.total, r.pages = m.next, owner, dir, total, pages
+	r.segs = append(r.segs, views...)
 	m.regions[r.cookie] = r
-	m.net.Stats().Registrations++
+	m.stats.Registrations++
 	return r.cookie, nil
+}
+
+// CreateView is Create for the common single-view region, avoiding the
+// caller-side slice literal.
+func (m *Module) CreateView(p *sim.Proc, owner int, v memsim.View, dir Direction) (Cookie, error) {
+	vs := append(m.getViews(), v)
+	c, err := m.Create(p, owner, vs, dir)
+	m.putViews(vs)
+	return c, err
 }
 
 // Destroy deregisters a region.
@@ -161,6 +221,7 @@ func (m *Module) Destroy(p *sim.Proc, c Cookie) error {
 	if m.inj != nil {
 		m.inj.Release(r.pages)
 	}
+	m.freeRegion(r)
 	return nil
 }
 
@@ -173,18 +234,19 @@ func (m *Module) invalidate(c Cookie) {
 	}
 	delete(m.regions, c)
 	m.inj.Release(r.pages)
-	m.net.Stats().Invalidations++
+	m.freeRegion(r)
+	m.stats.Invalidations++
 }
 
 // slice resolves [off, off+length) of the region's logical extent into
-// concrete views across its segments.
-func (r *Region) slice(off, length int64) ([]memsim.View, error) {
+// concrete views across its segments, appending to out (typically a pooled
+// scratch slice owned by the caller).
+func (r *Region) slice(off, length int64, out []memsim.View) ([]memsim.View, error) {
 	// Compare without computing off+length: the sum can overflow int64 for
 	// adversarial offsets and would let a huge off slip past the check.
 	if off < 0 || length < 0 || off > r.total || length > r.total-off {
 		return nil, ErrRange
 	}
-	var out []memsim.View
 	pos := int64(0)
 	for _, s := range r.segs {
 		if length == 0 {
@@ -247,7 +309,7 @@ func (m *Module) Copy(p *sim.Proc, core *topology.Core, local []memsim.View, c C
 			return ErrInvalidCookie
 		}
 	}
-	remote, n, err := m.resolve(local, c, remoteOff, dir)
+	remote, n, err := m.resolve(local, c, remoteOff, dir, m.getViews())
 	if err != nil {
 		return err
 	}
@@ -261,7 +323,17 @@ func (m *Module) Copy(p *sim.Proc, core *topology.Core, local []memsim.View, c C
 			m.net.Copy(p, core, rv, lv)
 		})
 	}
+	m.putViews(remote)
 	return nil
+}
+
+// CopyView is Copy for the common single local view, avoiding the
+// caller-side slice literal.
+func (m *Module) CopyView(p *sim.Proc, core *topology.Core, v memsim.View, c Cookie, remoteOff int64, dir Direction) error {
+	vs := append(m.getViews(), v)
+	err := m.Copy(p, core, vs, c, remoteOff, dir)
+	m.putViews(vs)
+	return err
 }
 
 // Op is an in-flight asynchronous copy.
@@ -305,7 +377,7 @@ func (m *Module) CopyDMA(p *sim.Proc, core *topology.Core, local []memsim.View, 
 			return nil, ErrDMA
 		}
 	}
-	remote, _, err := m.resolve(local, c, remoteOff, dir)
+	remote, _, err := m.resolve(local, c, remoteOff, dir, m.getViews())
 	if err != nil {
 		return nil, err
 	}
@@ -319,28 +391,37 @@ func (m *Module) CopyDMA(p *sim.Proc, core *topology.Core, local []memsim.View, 
 			op.pendings = append(op.pendings, m.net.CopyDMA(core, rv, lv))
 		})
 	}
+	m.putViews(remote)
 	return op, nil
 }
 
-// resolve validates a copy request and returns the remote views.
-func (m *Module) resolve(local []memsim.View, c Cookie, remoteOff int64, dir Direction) ([]memsim.View, int64, error) {
-	if dir != DirRead && dir != DirWrite {
-		return nil, 0, fmt.Errorf("knem: copy must be exactly DirRead or DirWrite")
+// resolve validates a copy request and returns the remote views, appended
+// to buf. On error, buf is returned to the pool here; on success, the
+// caller owns the returned slice and must putViews it when done.
+func (m *Module) resolve(local []memsim.View, c Cookie, remoteOff int64, dir Direction, buf []memsim.View) ([]memsim.View, int64, error) {
+	var err error
+	switch {
+	case dir != DirRead && dir != DirWrite:
+		err = fmt.Errorf("knem: copy must be exactly DirRead or DirWrite")
+	default:
+		r, ok := m.regions[c]
+		switch {
+		case !ok:
+			err = ErrInvalidCookie
+		case r.dir&dir == 0:
+			err = ErrDirection
+		default:
+			var n int64
+			for _, v := range local {
+				n += v.Len
+			}
+			var remote []memsim.View
+			remote, err = r.slice(remoteOff, n, buf)
+			if err == nil {
+				return remote, n, nil
+			}
+		}
 	}
-	r, ok := m.regions[c]
-	if !ok {
-		return nil, 0, ErrInvalidCookie
-	}
-	if r.dir&dir == 0 {
-		return nil, 0, ErrDirection
-	}
-	var n int64
-	for _, v := range local {
-		n += v.Len
-	}
-	remote, err := r.slice(remoteOff, n)
-	if err != nil {
-		return nil, 0, err
-	}
-	return remote, n, nil
+	m.putViews(buf)
+	return nil, 0, err
 }

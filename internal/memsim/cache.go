@@ -19,6 +19,33 @@ type cacheEntry struct {
 	next  *cacheEntry
 }
 
+// entryPool is a free list of cacheEntry nodes shared by every group cache
+// of one Net (the simulation is single-threaded, so no locking). Entries
+// are recycled on every eviction, invalidation, and flush; steady-state
+// cache churn therefore allocates nothing.
+type entryPool struct {
+	free []*cacheEntry
+}
+
+func (p *entryPool) get() *cacheEntry {
+	if k := len(p.free); k > 0 {
+		e := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		return e
+	}
+	return &cacheEntry{}
+}
+
+// put returns e to the free list. Every field is zeroed here — the free
+// list invariant is that pooled entries are indistinguishable from fresh
+// allocations, so get() never leaks a stale prefix, dirty bit, or list
+// link into a new region.
+func (p *entryPool) put(e *cacheEntry) {
+	*e = cacheEntry{}
+	p.free = append(p.free, e)
+}
+
 // groupCache is an LRU over regions for one cache group.
 type groupCache struct {
 	group   *topology.CacheGroup
@@ -26,10 +53,11 @@ type groupCache struct {
 	head    *cacheEntry // most recently used
 	tail    *cacheEntry
 	used    int64
+	pool    *entryPool
 }
 
-func newGroupCache(g *topology.CacheGroup) *groupCache {
-	return &groupCache{group: g, entries: make(map[int64]*cacheEntry)}
+func newGroupCache(g *topology.CacheGroup, pool *entryPool) *groupCache {
+	return &groupCache{group: g, entries: make(map[int64]*cacheEntry), pool: pool}
 }
 
 func (c *groupCache) unlink(e *cacheEntry) {
@@ -76,7 +104,8 @@ func (c *groupCache) touch(region int64, off, n int64, asDest bool) {
 		if off != 0 {
 			return // a mid-region touch of an absent region leaves no usable prefix
 		}
-		e = &cacheEntry{region: region}
+		e = c.pool.get()
+		e.region = region
 		c.entries[region] = e
 	} else {
 		c.unlink(e)
@@ -114,8 +143,20 @@ func (c *groupCache) evict(protect *cacheEntry) {
 		}
 		if victim == protect {
 			if victim.prev == nil {
-				// Only the protected entry remains; trim its prefix.
+				// Only the protected entry remains; trim its prefix. The
+				// overshoot is clamped to the prefix so hot/used can never
+				// go negative, and a prefix trimmed all the way to zero is
+				// removed outright — leaving it in the map with hot=0 (and
+				// a stale dirty bit) would keep dirtyOwner claiming a
+				// region that resident() no longer reports.
 				over := c.used - c.group.Size
+				if over >= victim.hot {
+					c.used -= victim.hot
+					c.unlink(victim)
+					delete(c.entries, victim.region)
+					c.pool.put(victim)
+					return
+				}
 				victim.hot -= over
 				c.used -= over
 				return
@@ -125,6 +166,7 @@ func (c *groupCache) evict(protect *cacheEntry) {
 		c.used -= victim.hot
 		c.unlink(victim)
 		delete(c.entries, victim.region)
+		c.pool.put(victim)
 	}
 }
 
@@ -135,7 +177,12 @@ func (c *groupCache) resident(region int64, off, n int64) bool {
 }
 
 func (c *groupCache) flush() {
-	c.entries = make(map[int64]*cacheEntry)
+	for e := c.head; e != nil; {
+		next := e.next
+		c.pool.put(e)
+		e = next
+	}
+	clear(c.entries) // keeps the buckets; repeated flush/refill allocates nothing
 	c.head, c.tail = nil, nil
 	c.used = 0
 }
@@ -156,6 +203,7 @@ func (n *Net) InvalidateRegion(b *Buffer) {
 			c.used -= e.hot
 			c.unlink(e)
 			delete(c.entries, b.ID)
+			c.pool.put(e)
 		}
 	}
 }
@@ -184,7 +232,7 @@ func (n *Net) Touch(core *topology.Core, v View, write bool) {
 // losing any part of the prefix truncates it at the overlap start.
 func (n *Net) invalidateRange(region int64, off, length int64, except *topology.CacheGroup) {
 	for _, c := range n.caches {
-		if c.group == except {
+		if c.group == except || len(c.entries) == 0 {
 			continue
 		}
 		e, ok := c.entries[region]
@@ -196,6 +244,7 @@ func (n *Net) invalidateRange(region int64, off, length int64, except *topology.
 		if e.hot == 0 {
 			c.unlink(e)
 			delete(c.entries, region)
+			c.pool.put(e)
 		}
 	}
 }
@@ -208,10 +257,14 @@ func (n *Net) findCached(reader *topology.Core, v View) *topology.CacheGroup {
 	var best *topology.CacheGroup
 	bestHops := 0
 	for _, c := range n.caches {
-		if !c.resident(v.Buf.ID, v.Off, v.Len) {
+		if len(c.entries) == 0 {
 			continue
 		}
-		if e := c.entries[v.Buf.ID]; e != nil && e.dirty && c.group != reader.Group {
+		e, ok := c.entries[v.Buf.ID]
+		if !ok || v.Off+v.Len > e.hot {
+			continue
+		}
+		if e.dirty && c.group != reader.Group {
 			continue
 		}
 		h := n.mach.Hops(reader.Vertex, c.group.Vertex)
@@ -229,7 +282,7 @@ func (n *Net) findCached(reader *topology.Core, v View) *topology.CacheGroup {
 // owner.
 func (n *Net) dirtyOwner(reader *topology.Core, v View) *topology.CacheGroup {
 	for _, c := range n.caches {
-		if c.group == reader.Group {
+		if c.group == reader.Group || len(c.entries) == 0 {
 			continue
 		}
 		if e := c.entries[v.Buf.ID]; e != nil && e.dirty && c.resident(v.Buf.ID, v.Off, v.Len) {

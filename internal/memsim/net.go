@@ -48,8 +48,18 @@ type Net struct {
 	useMult  []float64
 	useOrder []int
 
-	flowPool []*flow // recycled flow objects, uses-capacity preserved
-	finished []*flow // onCompletion scratch
+	flowPool  []*flow    // recycled flow objects, uses-capacity preserved
+	finished  []*flow    // onCompletion scratch
+	pendPool  []*Pending // recycled copy handles (blocking Copy only)
+	entryPool *entryPool // recycled cacheEntry nodes, shared by all groups
+
+	// Interned routes: routeDom[vertex][domainID] and
+	// routeGroup[vertex][groupID] hold the PathToDomain/PathToGroup results
+	// for every core vertex, computed once in New so startCopy never
+	// rebuilds a link path. The slices are shared and must never be
+	// mutated.
+	routeDom   [][][]*topology.Link
+	routeGroup [][][]*topology.Link
 }
 
 // linkUse is one link crossed by a flow; mult > 1 when the flow crosses the
@@ -69,7 +79,11 @@ type flow struct {
 	fixed     bool // water-filling working state
 	started   sim.Time
 	pending   *Pending
-	finish    func()
+	// Completion state, consumed by finishFlow. Kept as plain fields (not
+	// a closure) so starting a copy allocates nothing.
+	engine   *topology.Link
+	core     *topology.Core // nil for DMA copies
+	src, dst View
 }
 
 // Pending is a handle to an in-flight copy.
@@ -98,9 +112,37 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	if stats == nil {
 		stats = &trace.Stats{}
 	}
-	n := &Net{eng: eng, mach: m, stats: stats}
+	n := &Net{eng: eng, mach: m, stats: stats, entryPool: &entryPool{}}
+	names := make([]string, len(m.Links))
+	for i, l := range m.Links {
+		names[i] = l.Name
+	}
+	stats.SetLinkNames(names)
 	for _, g := range m.Groups {
-		n.caches = append(n.caches, newGroupCache(g))
+		n.caches = append(n.caches, newGroupCache(g, n.entryPool))
+	}
+	nv := 0
+	for _, c := range m.Cores {
+		if c.Vertex+1 > nv {
+			nv = c.Vertex + 1
+		}
+	}
+	n.routeDom = make([][][]*topology.Link, nv)
+	n.routeGroup = make([][][]*topology.Link, nv)
+	for _, c := range m.Cores {
+		if n.routeDom[c.Vertex] != nil {
+			continue
+		}
+		rd := make([][]*topology.Link, len(m.Domains))
+		for _, d := range m.Domains {
+			rd[d.ID] = m.PathToDomain(c, d)
+		}
+		rg := make([][]*topology.Link, len(m.Groups))
+		for _, g := range m.Groups {
+			rg[g.ID] = m.PathToGroup(c, g)
+		}
+		n.routeDom[c.Vertex] = rd
+		n.routeGroup[c.Vertex] = rg
 	}
 	nl := len(m.Links)
 	n.linkWeight = make([]float64, nl)
@@ -119,8 +161,11 @@ func (n *Net) Machine() *topology.Machine { return n.mach }
 // Engine returns the simulation engine.
 func (n *Net) Engine() *sim.Engine { return n.eng }
 
-// Stats returns the counter sink.
-func (n *Net) Stats() *trace.Stats { return n.stats }
+// Stats returns the counter sink, with link-byte accounting folded in.
+func (n *Net) Stats() *trace.Stats {
+	n.stats.FlushLinks()
+	return n.stats
+}
 
 // SetTimeline attaches a span recorder; every copy becomes a span on its
 // executing engine's lane. Pass nil to disable (the default).
@@ -169,8 +214,31 @@ func (n *Net) Busy() int { return len(n.flows) }
 // Copy moves src to dst executed by core, blocking p until completion.
 // Lengths must match. The executing core's copy engine, the read path
 // (cache or DRAM), and the write path all contend with concurrent flows.
+// The copy handle is recycled internally, so a blocking Copy allocates
+// nothing in steady state.
 func (n *Net) Copy(p *sim.Proc, core *topology.Core, dst, src View) {
-	n.CopyAsync(core, dst, src).Wait(p)
+	pe := n.CopyAsync(core, dst, src)
+	pe.Wait(p)
+	n.freePending(pe)
+}
+
+// newPending takes a handle from the pool or allocates one.
+func (n *Net) newPending() *Pending {
+	if k := len(n.pendPool); k > 0 {
+		pe := n.pendPool[k-1]
+		n.pendPool[k-1] = nil
+		n.pendPool = n.pendPool[:k-1]
+		return pe
+	}
+	return &Pending{}
+}
+
+// freePending recycles a completed handle. Only the blocking Copy path
+// recycles: handles returned by CopyAsync/CopyDMA stay with the caller,
+// which may hold them arbitrarily long.
+func (n *Net) freePending(pe *Pending) {
+	pe.done, pe.waiter = false, nil
+	n.pendPool = append(n.pendPool, pe)
 }
 
 // CopyAsync starts a copy executed by core and returns immediately.
@@ -197,7 +265,7 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 	if dst.Len != src.Len {
 		panic(fmt.Sprintf("memsim: copy length mismatch dst=%d src=%d", dst.Len, src.Len))
 	}
-	pe := &Pending{}
+	pe := n.newPending()
 	if src.Len == 0 {
 		pe.done = true
 		return pe
@@ -211,17 +279,7 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 	// Accumulate link multiplicities in first-use order through the
 	// persistent epoch-stamped scratch (no per-copy map or slice).
 	n.useEpoch++
-	epoch := n.useEpoch
-	add := func(l *topology.Link) {
-		i := l.Index
-		if n.useMark[i] != epoch {
-			n.useMark[i] = epoch
-			n.useMult[i] = 0
-			n.useOrder = append(n.useOrder, i)
-		}
-		n.useMult[i]++
-	}
-	add(engine)
+	n.useLink(engine)
 
 	// Read side: from the nearest cache holding the source range clean
 	// (or dirty in the reader's own group); a remote dirty copy is a
@@ -231,22 +289,22 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 	if core != nil {
 		if g := n.findCached(core, src); g != nil {
 			cacheHit = true
-			for _, l := range n.mach.PathToGroup(core, g) {
-				add(l)
+			for _, l := range n.routeGroup[core.Vertex][g.ID] {
+				n.useLink(l)
 			}
 		} else if g := n.dirtyOwner(core, src); g != nil {
-			for _, l := range n.mach.PathToGroup(core, g) {
-				add(l)
+			for _, l := range n.routeGroup[core.Vertex][g.ID] {
+				n.useLink(l)
 			}
-			add(src.Buf.Domain.Bus) // write-back to home memory
+			n.useLink(src.Buf.Domain.Bus) // write-back to home memory
 		} else {
-			for _, l := range n.mach.PathToDomain(reader, src.Buf.Domain) {
-				add(l)
+			for _, l := range n.routeDom[reader.Vertex][src.Buf.Domain.ID] {
+				n.useLink(l)
 			}
 		}
 	} else {
-		for _, l := range n.mach.PathToDomain(reader, src.Buf.Domain) {
-			add(l)
+		for _, l := range n.routeDom[reader.Vertex][src.Buf.Domain.ID] {
+			n.useLink(l)
 		}
 	}
 	// Write side: a destination already resident in the executing core's
@@ -256,11 +314,11 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 	writeHit := false
 	if core != nil && n.caches[core.Group.ID].resident(dst.Buf.ID, dst.Off, dst.Len) {
 		writeHit = true
-		add(core.Group.Port)
+		n.useLink(core.Group.Port)
 	}
 	if !writeHit {
-		for _, l := range n.mach.PathToDomain(reader, dst.Buf.Domain) {
-			add(l)
+		for _, l := range n.routeDom[reader.Vertex][dst.Buf.Domain.ID] {
+			n.useLink(l)
 		}
 	}
 
@@ -281,31 +339,53 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 		n.stats.CacheMisses++
 	}
 	for _, u := range f.uses {
-		n.stats.AddLinkBytes(u.link.Name, int64(u.mult*float64(src.Len)))
+		n.stats.AddLinkBytesIdx(u.idx, int64(u.mult*float64(src.Len)))
 	}
 
-	f.finish = func() {
-		n.tl.Add(engine.Name, "copy", f.started, n.eng.Now(),
-			fmt.Sprintf("%dB dom%d->dom%d", src.Len, src.Buf.Domain.ID, dst.Buf.Domain.ID))
-		if src.Buf.Data != nil && dst.Buf.Data != nil {
-			copy(dst.Bytes(), src.Bytes())
-		}
-		if core != nil {
-			c := n.caches[core.Group.ID]
-			c.touch(src.Buf.ID, src.Off, src.Len, false)
-			c.touch(dst.Buf.ID, dst.Off, dst.Len, true)
-			n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, core.Group)
-		} else {
-			// DMA writes go to memory and invalidate every cache.
-			n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, nil)
-		}
-		pe.done = true
-		if pe.waiter != nil {
-			pe.waiter.Wake()
-		}
-	}
+	f.engine, f.core, f.src, f.dst = engine, core, src, dst
 	n.addFlow(f)
 	return pe
+}
+
+// finishFlow runs a completed flow's side effects: the data copy, cache
+// touches, invalidations, and waking the waiter. It reads the flow's
+// completion fields instead of a captured closure so startCopy stays
+// allocation-free.
+func (n *Net) finishFlow(f *flow) {
+	src, dst := f.src, f.dst
+	if n.tl != nil {
+		n.tl.Add(f.engine.Name, "copy", f.started, n.eng.Now(),
+			fmt.Sprintf("%dB dom%d->dom%d", src.Len, src.Buf.Domain.ID, dst.Buf.Domain.ID))
+	}
+	if src.Buf.Data != nil && dst.Buf.Data != nil {
+		copy(dst.Bytes(), src.Bytes())
+	}
+	if f.core != nil {
+		c := n.caches[f.core.Group.ID]
+		c.touch(src.Buf.ID, src.Off, src.Len, false)
+		c.touch(dst.Buf.ID, dst.Off, dst.Len, true)
+		n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, f.core.Group)
+	} else {
+		// DMA writes go to memory and invalidate every cache.
+		n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, nil)
+	}
+	pe := f.pending
+	pe.done = true
+	if pe.waiter != nil {
+		pe.waiter.Wake()
+	}
+}
+
+// useLink accumulates one crossing of l into the epoch-stamped scratch,
+// recording first use order. Small enough to inline into startCopy.
+func (n *Net) useLink(l *topology.Link) {
+	i := l.Index
+	if n.useMark[i] != n.useEpoch {
+		n.useMark[i] = n.useEpoch
+		n.useMult[i] = 0
+		n.useOrder = append(n.useOrder, i)
+	}
+	n.useMult[i]++
 }
 
 // dmaDomain finds which domain a DMA link belongs to.
@@ -462,7 +542,7 @@ func (n *Net) onCompletion() {
 		}
 	}
 	for _, f := range finished {
-		f.finish()
+		n.finishFlow(f)
 	}
 	for i, f := range finished {
 		n.freeFlow(f)

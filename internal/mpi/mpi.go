@@ -125,6 +125,12 @@ type World struct {
 	opts     Options
 	coll     Coll
 	nextComm int
+
+	// oobPool recycles the boxed OOB envelopes (SendOOB allocates one per
+	// message otherwise). The simulation is single-threaded, so a
+	// world-level pool shared by all ranks needs no locking; dispatch
+	// returns each envelope after copying its fields out.
+	oobPool []*oobCtrl
 }
 
 // NewWorld builds the runtime but does not start rank bodies; most callers

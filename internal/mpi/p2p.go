@@ -353,8 +353,10 @@ func (r *Rank) dispatch(msg shm.Msg) {
 		delete(r.activeSend, m.sendID)
 	case creditMsg:
 		r.credits[msg.From]++
-	case oobCtrl:
+	case *oobCtrl:
 		r.oobQ = append(r.oobQ, oobMsg{from: msg.From, tag: m.tag, data: m.data})
+		m.data = nil
+		r.w.oobPool = append(r.w.oobPool, m)
 	default:
 		panic(fmt.Sprintf("mpi: unknown control payload %T", msg.Payload))
 	}
@@ -438,7 +440,16 @@ func (r *Rank) takePosted(src, tag int) *Request {
 // bandwidth. This is the "shared memory BTL as out-of-band channel" of
 // §V-A.
 func (r *Rank) SendOOB(to, tag int, data any) {
-	r.w.tr.SendCtrl(r.id, to, oobCtrl{tag: tag, data: data})
+	var m *oobCtrl
+	if k := len(r.w.oobPool); k > 0 {
+		m = r.w.oobPool[k-1]
+		r.w.oobPool[k-1] = nil
+		r.w.oobPool = r.w.oobPool[:k-1]
+	} else {
+		m = &oobCtrl{}
+	}
+	m.tag, m.data = tag, data
+	r.w.tr.SendCtrl(r.id, to, m)
 }
 
 // RecvOOB blocks until an out-of-band value with the given tag arrives

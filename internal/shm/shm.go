@@ -19,6 +19,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Msg is a control message.
@@ -63,9 +64,22 @@ func (c *Config) fill() {
 type Transport struct {
 	Cfg   Config
 	net   *memsim.Net
+	stats *trace.Stats
 	cores []*topology.Core
 	mail  []*sim.Chan[Msg]
 	pairs map[[2]int]*Pair
+
+	// deliverFn and dpool make SendCtrl allocation-free: each in-flight
+	// control message rides a pooled delivery record through a pooled
+	// arg-event instead of a fresh closure + event pair.
+	deliverFn func(any)
+	dpool     []*delivery
+}
+
+// delivery is one in-flight control message awaiting its latency event.
+type delivery struct {
+	to  int
+	msg Msg
 }
 
 // New creates a transport with one endpoint per core in cores. The cores
@@ -75,9 +89,11 @@ func New(net *memsim.Net, cores []*topology.Core, cfg Config) *Transport {
 	t := &Transport{
 		Cfg:   cfg,
 		net:   net,
+		stats: net.Stats(),
 		cores: cores,
 		pairs: make(map[[2]int]*Pair),
 	}
+	t.deliverFn = t.deliver
 	for range cores {
 		t.mail = append(t.mail, sim.NewChan[Msg](net.Engine(), 1<<30))
 	}
@@ -99,13 +115,32 @@ func (t *Transport) SendCtrl(from, to int, payload any) {
 	if to < 0 || to >= len(t.mail) {
 		panic(fmt.Sprintf("shm: SendCtrl to invalid endpoint %d", to))
 	}
-	t.net.Stats().CtrlMsgs++
+	t.stats.CtrlMsgs++
 	lat := t.net.Machine().Spec.CtrlLatency
-	t.net.Engine().Schedule(lat, func() {
-		if !t.mail[to].TrySend(Msg{From: from, Payload: payload}) {
-			panic("shm: mailbox overflow")
-		}
-	})
+	d := t.newDelivery()
+	d.to, d.msg = to, Msg{From: from, Payload: payload}
+	t.net.Engine().ScheduleOwnedArg(lat, t.deliverFn, d)
+}
+
+// deliver fires when a control message's latency elapses.
+func (t *Transport) deliver(a any) {
+	d := a.(*delivery)
+	if !t.mail[d.to].TrySend(d.msg) {
+		panic("shm: mailbox overflow")
+	}
+	d.msg = Msg{}
+	t.dpool = append(t.dpool, d)
+}
+
+// newDelivery takes a delivery record from the pool or allocates one.
+func (t *Transport) newDelivery() *delivery {
+	if k := len(t.dpool); k > 0 {
+		d := t.dpool[k-1]
+		t.dpool[k-1] = nil
+		t.dpool = t.dpool[:k-1]
+		return d
+	}
+	return &delivery{}
 }
 
 // RecvCtrl blocks p until a control message arrives for endpoint self.

@@ -23,12 +23,17 @@ import (
 // Time is simulated time in seconds.
 type Time = float64
 
-// Event is a handle to a scheduled callback; it can be cancelled.
+// Event is a handle to a scheduled callback; it can be cancelled. The
+// callback is either fn, or argFn applied to arg (ScheduleOwnedArg) — the
+// latter lets hot paths schedule a persistent function with per-event state
+// without allocating a closure.
 type Event struct {
 	eng     *Engine
 	t       Time
 	seq     int64
 	fn      func()
+	argFn   func(any)
+	arg     any
 	dead    bool
 	pooled  bool
 	heapIdx int
@@ -44,7 +49,7 @@ func (ev *Event) Cancel() {
 		return
 	}
 	ev.dead = true
-	ev.fn = nil
+	ev.fn, ev.argFn, ev.arg = nil, nil, nil
 	if ev.heapIdx >= 0 {
 		heap.Remove(&ev.eng.events, ev.heapIdx)
 		ev.heapIdx = -1
@@ -136,6 +141,19 @@ func (e *Engine) ScheduleOwned(d Time, fn func()) *Event {
 	return e.at(e.now+d, fn, true)
 }
 
+// ScheduleOwnedArg is ScheduleOwned for callbacks that need per-event
+// state: fn(arg) runs at the scheduled time. Passing a persistent fn and a
+// pointer-typed arg keeps the call allocation-free where a capturing
+// closure would not. The ownership rules of ScheduleOwned apply.
+func (e *Engine) ScheduleOwnedArg(d Time, fn func(any), arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: ScheduleOwnedArg with negative delay %g", d))
+	}
+	ev := e.at(e.now+d, nil, true)
+	ev.argFn, ev.arg = fn, arg
+	return ev
+}
+
 // ScheduleAt registers fn to run at absolute time t (>= Now()).
 func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	if t < e.now {
@@ -162,7 +180,7 @@ func (e *Engine) at(t Time, fn func(), pooled bool) *Event {
 // recycle returns a pooled event to the free list once no live handle may
 // touch it (fired, or cancelled and removed from the heap).
 func (e *Engine) recycle(ev *Event) {
-	ev.fn = nil
+	ev.fn, ev.argFn, ev.arg = nil, nil, nil
 	e.free = append(e.free, ev)
 }
 
@@ -221,7 +239,7 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.t
 		e.fired++
-		fn := ev.fn
+		fn, argFn, arg := ev.fn, ev.argFn, ev.arg
 		ev.dead = true
 		if ev.pooled {
 			// Recycle before running fn so a reschedule chain (fire ->
@@ -230,7 +248,11 @@ func (e *Engine) Run() error {
 		} else {
 			ev.fn = nil
 		}
-		fn()
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		if e.maxEvents > 0 && e.fired >= e.maxEvents {
 			e.killParked()
 			return &WatchdogError{Fired: e.fired, At: e.now}

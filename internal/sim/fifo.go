@@ -1,0 +1,38 @@
+package sim
+
+// fifo is a slice-backed queue that keeps its capacity: pop advances a head
+// index instead of re-slicing the front away, so a drain/refill cycle never
+// loses the allocation the way `q = q[1:]` does. Popped slots are zeroed to
+// release references. When the queue empties — or the dead prefix reaches
+// half the backing array — the elements are moved back to the start, so the
+// backing array is bounded by the high-water mark of live elements.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) len() int { return len(q.items) - q.head }
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) peek() T { return q.items[q.head] }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		tail := q.items[n:]
+		for i := range tail {
+			tail[i] = zero
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}

@@ -3,12 +3,17 @@ package sim
 // Chan is a typed FIFO channel between simulated processes. A capacity of
 // zero gives rendezvous semantics (Send blocks until a Recv arrives, and
 // vice versa); a positive capacity buffers that many elements.
+//
+// Buffer and waiter queues keep their capacity across drain/refill cycles,
+// and waiter records are recycled on a per-channel free list, so
+// steady-state send/recv traffic allocates nothing.
 type Chan[T any] struct {
 	eng   *Engine
 	cap   int
-	buf   []T
-	sendQ []*chanWaiter[T]
-	recvQ []*chanWaiter[T]
+	buf   fifo[T]
+	sendQ fifo[*chanWaiter[T]]
+	recvQ fifo[*chanWaiter[T]]
+	wpool []*chanWaiter[T]
 }
 
 type chanWaiter[T any] struct {
@@ -24,39 +29,58 @@ func NewChan[T any](e *Engine, capacity int) *Chan[T] {
 	return &Chan[T]{eng: e, cap: capacity}
 }
 
+// newWaiter takes a waiter from the pool or allocates one.
+func (c *Chan[T]) newWaiter() *chanWaiter[T] {
+	if k := len(c.wpool); k > 0 {
+		w := c.wpool[k-1]
+		c.wpool[k-1] = nil
+		c.wpool = c.wpool[:k-1]
+		return w
+	}
+	return &chanWaiter[T]{}
+}
+
+// freeWaiter recycles a waiter whose wait has completed. The parked side
+// recycles after Park returns, when the peer no longer holds the record.
+func (c *Chan[T]) freeWaiter(w *chanWaiter[T]) {
+	var zero T
+	w.p, w.v = nil, zero
+	c.wpool = append(c.wpool, w)
+}
+
 // Len returns the number of buffered elements.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.buf.len() }
 
 // Send delivers v, blocking p in simulated time while the channel is full
 // (or, for capacity zero, until a receiver arrives).
 func (c *Chan[T]) Send(p *Proc, v T) {
-	if len(c.recvQ) > 0 {
-		w := c.recvQ[0]
-		c.recvQ = c.recvQ[1:]
+	if c.recvQ.len() > 0 {
+		w := c.recvQ.pop()
 		w.v = v
 		w.p.Wake()
 		return
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.buf.len() < c.cap {
+		c.buf.push(v)
 		return
 	}
-	w := &chanWaiter[T]{p: p, v: v}
-	c.sendQ = append(c.sendQ, w)
+	w := c.newWaiter()
+	w.p, w.v = p, v
+	c.sendQ.push(w)
 	p.Park("chan send")
+	c.freeWaiter(w)
 }
 
 // TrySend delivers v without blocking; it reports whether delivery happened.
 func (c *Chan[T]) TrySend(v T) bool {
-	if len(c.recvQ) > 0 {
-		w := c.recvQ[0]
-		c.recvQ = c.recvQ[1:]
+	if c.recvQ.len() > 0 {
+		w := c.recvQ.pop()
 		w.v = v
 		w.p.Wake()
 		return true
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.buf.len() < c.cap {
+		c.buf.push(v)
 		return true
 	}
 	return false
@@ -64,46 +88,43 @@ func (c *Chan[T]) TrySend(v T) bool {
 
 // Recv returns the next element, blocking p while the channel is empty.
 func (c *Chan[T]) Recv(p *Proc) T {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		if len(c.sendQ) > 0 {
-			w := c.sendQ[0]
-			c.sendQ = c.sendQ[1:]
-			c.buf = append(c.buf, w.v)
+	if c.buf.len() > 0 {
+		v := c.buf.pop()
+		if c.sendQ.len() > 0 {
+			w := c.sendQ.pop()
+			c.buf.push(w.v)
 			w.p.Wake()
 		}
 		return v
 	}
-	if len(c.sendQ) > 0 { // capacity 0 rendezvous
-		w := c.sendQ[0]
-		c.sendQ = c.sendQ[1:]
+	if c.sendQ.len() > 0 { // capacity 0 rendezvous
+		w := c.sendQ.pop()
 		w.p.Wake()
 		return w.v
 	}
-	w := &chanWaiter[T]{p: p}
-	c.recvQ = append(c.recvQ, w)
+	w := c.newWaiter()
+	w.p = p
+	c.recvQ.push(w)
 	p.Park("chan recv")
-	return w.v
+	v := w.v
+	c.freeWaiter(w)
+	return v
 }
 
 // TryRecv returns the next element without blocking; ok reports whether an
 // element was available.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
-		if len(c.sendQ) > 0 {
-			w := c.sendQ[0]
-			c.sendQ = c.sendQ[1:]
-			c.buf = append(c.buf, w.v)
+	if c.buf.len() > 0 {
+		v = c.buf.pop()
+		if c.sendQ.len() > 0 {
+			w := c.sendQ.pop()
+			c.buf.push(w.v)
 			w.p.Wake()
 		}
 		return v, true
 	}
-	if len(c.sendQ) > 0 {
-		w := c.sendQ[0]
-		c.sendQ = c.sendQ[1:]
+	if c.sendQ.len() > 0 {
+		w := c.sendQ.pop()
 		w.p.Wake()
 		return w.v, true
 	}
@@ -113,7 +134,7 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 // Semaphore is a counting semaphore in simulated time.
 type Semaphore struct {
 	count int
-	waitQ []*semWaiter
+	waitQ fifo[semWaiter]
 }
 
 type semWaiter struct {
@@ -134,11 +155,11 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 	if n <= 0 {
 		panic("sim: Acquire of non-positive count")
 	}
-	if len(s.waitQ) == 0 && s.count >= n {
+	if s.waitQ.len() == 0 && s.count >= n {
 		s.count -= n
 		return
 	}
-	s.waitQ = append(s.waitQ, &semWaiter{p: p, n: n})
+	s.waitQ.push(semWaiter{p: p, n: n})
 	p.Park("semaphore acquire")
 }
 
@@ -148,9 +169,8 @@ func (s *Semaphore) Release(n int) {
 		panic("sim: Release of non-positive count")
 	}
 	s.count += n
-	for len(s.waitQ) > 0 && s.count >= s.waitQ[0].n {
-		w := s.waitQ[0]
-		s.waitQ = s.waitQ[1:]
+	for s.waitQ.len() > 0 && s.count >= s.waitQ.peek().n {
+		w := s.waitQ.pop()
 		s.count -= w.n
 		w.p.Wake()
 	}
@@ -178,8 +198,9 @@ func NewBarrier(n int) *Barrier {
 // Arrive blocks p until all participants have arrived.
 func (b *Barrier) Arrive(p *Proc) {
 	if len(b.arrived)+1 == b.n {
-		for _, q := range b.arrived {
+		for i, q := range b.arrived {
 			q.Wake()
+			b.arrived[i] = nil
 		}
 		b.arrived = b.arrived[:0]
 		return
@@ -201,10 +222,11 @@ func (wg *WaitGroup) Add(delta int) {
 		panic("sim: negative WaitGroup count")
 	}
 	if wg.count == 0 {
-		for _, p := range wg.waitQ {
+		for i, p := range wg.waitQ {
 			p.Wake()
+			wg.waitQ[i] = nil
 		}
-		wg.waitQ = nil
+		wg.waitQ = wg.waitQ[:0]
 	}
 }
 

@@ -24,6 +24,13 @@ type Stats struct {
 	CtrlMsgs      int64 // out-of-band control messages
 	LinkBytes     map[string]int64
 
+	// Dense per-link accumulator, used by the memory simulator's hot path
+	// instead of the string-keyed map (SetLinkNames/AddLinkBytesIdx).
+	// FlushLinks folds it into LinkBytes; accessors that expose the map
+	// call it first, so readers never see a stale view.
+	links     []int64
+	linkNames []string
+
 	// Fault-injection counters (zero unless a fault.Plan is active).
 	FaultsInjected int64 // discrete faults injected by the plan
 	CreateFaults   int64 // failed region registrations (ENOMEM/EAGAIN)
@@ -43,11 +50,53 @@ func (s *Stats) AddLinkBytes(name string, n int64) {
 	s.LinkBytes[name] += n
 }
 
-// Reset zeroes every counter.
-func (s *Stats) Reset() { *s = Stats{} }
+// SetLinkNames installs the dense accumulator for links 0..len(names)-1.
+// The simulator calls it once per run so per-copy accounting is a slice
+// add, not a map write.
+func (s *Stats) SetLinkNames(names []string) {
+	s.linkNames = names
+	s.links = make([]int64, len(names))
+}
+
+// AddLinkBytesIdx accounts payload bytes on the link with dense index i.
+// SetLinkNames must have been called.
+func (s *Stats) AddLinkBytesIdx(i int, n int64) { s.links[i] += n }
+
+// FlushLinks folds the dense accumulator into the LinkBytes map. Safe to
+// call at any time; totals are unaffected by when or how often it runs.
+func (s *Stats) FlushLinks() {
+	for i, v := range s.links {
+		if v != 0 {
+			s.AddLinkBytes(s.linkNames[i], v)
+			s.links[i] = 0
+		}
+	}
+}
+
+// Snapshot flushes the dense accumulator and returns a value copy without
+// it, so snapshots taken live compare equal (reflect.DeepEqual, JSON) to
+// ones round-tripped through serialization.
+func (s *Stats) Snapshot() Stats {
+	s.FlushLinks()
+	out := *s
+	out.links, out.linkNames = nil, nil
+	return out
+}
+
+// Reset zeroes every counter. The dense link accumulator keeps its shape
+// (names and capacity) so resetting mid-run costs nothing on the hot path.
+func (s *Stats) Reset() {
+	links, names := s.links, s.linkNames
+	*s = Stats{}
+	for i := range links {
+		links[i] = 0
+	}
+	s.links, s.linkNames = links, names
+}
 
 // String renders the counters compactly, links sorted by name.
 func (s *Stats) String() string {
+	s.FlushLinks()
 	var b strings.Builder
 	fmt.Fprintf(&b, "copies=%d bytes=%d cacheHits=%d cacheMisses=%d traps=%d regs=%d ctrl=%d",
 		s.Copies, s.BytesCopied, s.CacheHits, s.CacheMisses, s.KernelTraps, s.Registrations, s.CtrlMsgs)
