@@ -5,7 +5,7 @@ GO ?= go
 # silently measuring a degenerate trajectory) on single-core runners.
 SIMBENCH_FLAGS ?=
 
-.PHONY: all check test test-race vet fuzz-short bench bench-smoke figures table1 results tune-smoke profile clean
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke cluster-smoke figures table1 results tune-smoke profile clean
 
 all: test vet
 
@@ -26,6 +26,7 @@ vet:
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzVectorRegion -fuzztime=10s ./internal/knem
 	$(GO) test -run=NONE -fuzz=FuzzParseMachine -fuzztime=10s ./internal/topology
+	$(GO) test -run=NONE -fuzz=FuzzClusterConfig -fuzztime=10s ./internal/topology
 	$(GO) test -run=NONE -fuzz=FuzzDecisionTable -fuzztime=10s ./internal/tune
 
 bench:
@@ -91,6 +92,18 @@ tune-smoke:
 	$(GO) run ./cmd/tune show -machine Zoot /tmp/tune-smoke-a.json > /dev/null
 	$(GO) run ./cmd/tune show -machine IG machines/ig.tune.json > /dev/null
 	$(GO) run ./cmd/tune diff -defaults machines/ig.tune.json
+
+# Cluster smoke: compile the example cluster, then run the same small
+# hierarchical sweep through a fresh memo cache at -parallel 1 and 4. The
+# tables must be byte-identical, and the second run must be served 100%
+# from the cache (0 misses) — cluster cells memoize like any other cell.
+cluster-smoke:
+	$(GO) run ./cmd/topo -cluster machines/cluster4.cluster
+	rm -rf /tmp/cluster-smoke-cache
+	$(GO) run ./cmd/imb -cluster machines/cluster4.cluster -op bcast -sizes 64K,1M -iters 1 -parallel 1 -cache-dir /tmp/cluster-smoke-cache > /tmp/cluster-smoke-a.txt
+	$(GO) run ./cmd/imb -cluster machines/cluster4.cluster -op bcast -sizes 64K,1M -iters 1 -parallel 4 -cache-dir /tmp/cluster-smoke-cache > /tmp/cluster-smoke-b.txt 2>/tmp/cluster-smoke-b.err
+	cmp /tmp/cluster-smoke-a.txt /tmp/cluster-smoke-b.txt
+	grep -q ", 0 misses" /tmp/cluster-smoke-b.err
 
 clean:
 	$(GO) clean ./...

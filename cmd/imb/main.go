@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/coll/hier"
 	"repro/internal/fault"
 	"repro/internal/topology"
 	"repro/internal/tune"
@@ -65,6 +66,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "A/B measurements of the component's design choices")
 	op := flag.String("op", "", "ad-hoc sweep: bcast, gather, scatter, allgather, alltoall, alltoallv")
 	machine := flag.String("machine", "IG", "machine for ad-hoc sweeps: Zoot, Dancer, Saturn, IG, or a machine-description file")
+	cluster := flag.String("cluster", "", "cluster-description file (.cluster) for ad-hoc sweeps; replaces -machine and adds the hierarchical components")
 	np := flag.Int("np", 0, "ranks (default: all cores)")
 	sizes := flag.String("sizes", "", "comma-separated sizes for ad-hoc sweeps (e.g. 32K,1M,8M)")
 	iters := flag.Int("iters", 3, "measured iterations per point")
@@ -121,7 +123,10 @@ func main() {
 	case *fig != "":
 		runFigures(*fig, *iters)
 	case *op != "":
-		runSweep(*op, *machine, *np, *sizes, *iters, *comps, plan)
+		runSweep(*op, *machine, *cluster, *np, *sizes, *iters, *comps, plan)
+	case *cluster != "":
+		fmt.Fprintln(os.Stderr, "imb: -cluster needs an -op to sweep")
+		os.Exit(2)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -225,11 +230,23 @@ func runFigures(which string, iters int) {
 	emit(f(iters))
 }
 
-func runSweep(op, machine string, np int, sizeList string, iters int, compList string, plan *fault.Plan) {
-	m, err := topology.LoadMachine(machine)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "imb:", err)
-		os.Exit(2)
+func runSweep(op, machine, cluster string, np int, sizeList string, iters int, compList string, plan *fault.Plan) {
+	var m *topology.Machine
+	var cl *topology.Cluster
+	var err error
+	if cluster != "" {
+		cl, err = topology.LoadCluster(cluster)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imb:", err)
+			os.Exit(2)
+		}
+		m = cl.Global
+	} else {
+		m, err = topology.LoadMachine(machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imb:", err)
+			os.Exit(2)
+		}
 	}
 	if np == 0 {
 		np = m.NCores()
@@ -241,13 +258,17 @@ func runSweep(op, machine string, np int, sizeList string, iters int, compList s
 			szs = append(szs, parseSize(s))
 		}
 	}
+	baseline := "KNEM-Coll"
+	if cl != nil {
+		baseline = "Hier-Tree"
+	}
 	panel := bench.Panel{
 		Title:    fmt.Sprintf("%s on %s (np=%d)", op, m.Name, np),
 		Machine:  m.Name,
-		Baseline: "KNEM-Coll",
+		Baseline: baseline,
 		Sizes:    szs,
 	}
-	comps := pickComps(compList)
+	comps := pickComps(compList, cl)
 	var cfgs []bench.Config
 	for _, c := range comps {
 		for _, sz := range szs {
@@ -314,12 +335,21 @@ func runScalability(op, machine, sizeList string, iters int) {
 	s.Render(os.Stdout)
 }
 
-func pickComps(list string) []bench.Comp {
+func pickComps(list string, cl *topology.Cluster) []bench.Comp {
 	if list == "" {
+		if cl != nil {
+			// Cluster default: both hierarchical shapes against the flat
+			// baseline over the same composite machine.
+			return []bench.Comp{bench.Hier(cl), bench.HierCfg(cl, hier.Config{Inter: "ring"}), bench.TunedSM()}
+		}
 		return bench.PaperComponents()
 	}
 	byName := map[string]bench.Comp{}
-	for _, c := range append(bench.PaperComponents(), bench.BasicSM(), bench.SMColl()) {
+	all := append(bench.PaperComponents(), bench.BasicSM(), bench.SMColl())
+	if cl != nil {
+		all = append(all, bench.Hier(cl), bench.HierCfg(cl, hier.Config{Inter: "ring"}))
+	}
+	for _, c := range all {
 		byName[strings.ToLower(c.Name)] = c
 	}
 	var out []bench.Comp

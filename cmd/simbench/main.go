@@ -43,10 +43,10 @@ import (
 
 const MB = 1 << 20
 
-// Report is the BENCH_sim.json schema ("bench_sim/v3"; v2 lacked the
-// core/bcast_cell_64KiB scenario and the zero-allocation gates, v1 lacked
-// the tune_search section, the parallel-sweep skip annotation, and the
-// channel-engine baseline).
+// Report is the BENCH_sim.json schema ("bench_sim/v4"; v3 lacked the
+// cluster section, v2 lacked the core/bcast_cell_64KiB scenario and the
+// zero-allocation gates, v1 lacked the tune_search section, the
+// parallel-sweep skip annotation, and the channel-engine baseline).
 type Report struct {
 	Schema     string         `json:"schema"`
 	GoVersion  string         `json:"go"`
@@ -55,6 +55,7 @@ type Report struct {
 	Short      bool           `json:"short"`
 	Benchmarks []BenchLine    `json:"benchmarks"`
 	Sweep      SweepLine      `json:"sweep"`
+	Cluster    ClusterLine    `json:"cluster"`
 	TuneSearch TuneSearchLine `json:"tune_search"`
 	Baseline   []BenchLine    `json:"baseline_pre_optimization"`
 	// BaselineChannels records the goroutine-channel engine's committed
@@ -85,6 +86,19 @@ type SweepLine struct {
 	Parallel4       float64 `json:"seconds_parallel4,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
 	ParallelSkipped string  `json:"parallel_skipped,omitempty"`
+}
+
+// ClusterLine is the many-rank cluster cell: one hierarchical broadcast
+// over a synthetic multi-node cluster, timed once (wall clock) with its
+// simulated completion time — the scale point none of the single-machine
+// scenarios reach.
+type ClusterLine struct {
+	Nodes     int     `json:"nodes"`
+	NP        int     `json:"np"`
+	Op        string  `json:"op"`
+	Size      int64   `json:"size"`
+	Simulated float64 `json:"seconds_simulated"`
+	Wall      float64 `json:"seconds_wall"`
 }
 
 // TuneSearchLine times one autotuner search twice against an empty
@@ -171,7 +185,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:           "bench_sim/v3",
+		Schema:           "bench_sim/v4",
 		GoVersion:        runtime.Version(),
 		CPUs:             runtime.NumCPU(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
@@ -199,6 +213,7 @@ func main() {
 	run("core/bcast_cell_64KiB", benchBcastCell)
 
 	rep.Sweep = measureSweep(*short)
+	rep.Cluster = measureCluster(*short)
 	rep.TuneSearch = measureTuneSearch(*short)
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -445,6 +460,55 @@ func measureSweep(short bool) SweepLine {
 	line.Parallel4 = timeIt(4)
 	line.Speedup = line.Sequential / line.Parallel4
 	return line
+}
+
+// measureCluster times the 256-rank hierarchical broadcast cell: 8
+// synthetic 32-core nodes behind one switch, the hierarchical tree family
+// end to end through the measurement harness (full mode; -short drops to
+// 64 ranks over 4 nodes so the CI smoke stays fast).
+func measureCluster(short bool) ClusterLine {
+	nodes, op, size := 8, bench.OpBcast, int64(1*bench.MiB)
+	if short {
+		nodes, size = 4, 64*bench.KiB
+	}
+	box := topology.Synthetic(topology.SyntheticSpec{
+		Boards: 1, SocketsPerBoard: 4, CoresPerSocket: 8,
+		BusBW: 20e9, LinkBW: 12e9,
+		CacheSize: 18 << 20, CachePortBW: 32e9,
+		Spec: topology.Dancer().Spec,
+	})
+	cfg := topology.ClusterConfig{
+		Name:   "simbench",
+		Switch: &topology.SwitchSpec{Name: "tor", BW: 6e9, Lat: 2e-6},
+	}
+	if short {
+		box = topology.Synthetic(topology.SyntheticSpec{
+			Boards: 1, SocketsPerBoard: 2, CoresPerSocket: 8,
+			BusBW: 20e9, LinkBW: 12e9,
+			CacheSize: 18 << 20, CachePortBW: 32e9,
+			Spec: topology.Dancer().Spec,
+		})
+	}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, topology.NodeSpec{Name: fmt.Sprintf("n%d", i), Machine: "box"})
+	}
+	cl, err := topology.CompileCluster(cfg, func(string) (*topology.Machine, error) { return box, nil })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := bench.Measure(bench.Config{
+		Machine: cl.Global, Comp: bench.Hier(cl), Op: op, Size: size, Iters: 1, OffCache: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	return ClusterLine{
+		Nodes: nodes, NP: cl.Global.NCores(), Op: string(op), Size: size,
+		Simulated: res.Seconds, Wall: time.Since(start).Seconds(),
+	}
 }
 
 // measureTuneSearch runs one autotuner search twice against a fresh

@@ -20,8 +20,18 @@ import (
 
 func main() {
 	machine := flag.String("machine", "", "built-in machine or description file to detail (default: summarize all)")
+	cluster := flag.String("cluster", "", "cluster-description file (.cluster) to detail")
 	flag.Parse()
 
+	if *cluster != "" {
+		cl, err := topology.LoadCluster(*cluster)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topo:", err)
+			os.Exit(2)
+		}
+		detailCluster(cl)
+		return
+	}
 	if *machine == "" {
 		for _, name := range []string{"Zoot", "Dancer", "Saturn", "IG"} {
 			summarize(topology.ByName(name))
@@ -34,6 +44,34 @@ func main() {
 		os.Exit(2)
 	}
 	detail(m)
+}
+
+func detailCluster(cl *topology.Cluster) {
+	fmt.Printf("cluster %s: %d nodes, %d cores, %d NUMA domains\n",
+		cl.Name, cl.NNodes(), cl.Global.NCores(), len(cl.Global.Domains))
+	for _, n := range cl.Nodes {
+		fmt.Printf("  node %-10s machine %-10s cores %d-%d, domains %d-%d, gateway vertex %d\n",
+			n.Name, n.MachineName, n.FirstCore, n.FirstCore+n.NCores-1,
+			n.FirstDomain, n.FirstDomain+n.NDomains-1, n.Gateway)
+	}
+	fmt.Println("  fabric:")
+	if cl.Config.Switch != nil {
+		sw := cl.Config.Switch
+		fmt.Printf("    switch %s @ %.2f GB/s", sw.Name, sw.BW/1e9)
+		if sw.Lat > 0 {
+			fmt.Printf(", %.1f us", sw.Lat*1e6)
+		}
+		fmt.Printf(" (star vertex %d)\n", cl.SwitchVertex)
+	}
+	for _, l := range cl.Config.Links {
+		fmt.Printf("    link %s: %s <-> %s @ %.2f GB/s", l.Name, l.A, l.B, l.BW/1e9)
+		if l.Lat > 0 {
+			fmt.Printf(", %.1f us", l.Lat*1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  composite machine:")
+	summarize(cl.Global)
 }
 
 func summarize(m *topology.Machine) {

@@ -66,6 +66,7 @@ func fatal(err error) {
 func cmdSearch(args []string) {
 	fs := flag.NewFlagSet("tune search", flag.ExitOnError)
 	machine := fs.String("machine", "IG", "machine to tune: Zoot, Dancer, Saturn, IG, or a machine-description file")
+	cluster := fs.String("cluster", "", "cluster-description file (.cluster) to tune; replaces -machine and adds the hierarchical family to the grid")
 	ops := fs.String("ops", "", "comma-separated operations to tune (default: bcast,gather,scatter,allgather,alltoall)")
 	nps := fs.String("np", "", "comma-separated communicator sizes (default: all cores)")
 	sizes := fs.String("sizes", "", "comma-separated grid sizes (default: the paper's 32K..8M)")
@@ -88,11 +89,20 @@ func cmdSearch(args []string) {
 	}
 	defer stopProfiles()
 
-	m, err := topology.LoadMachine(*machine)
-	if err != nil {
-		fatal(err)
+	o := search.Options{Iters: *iters, Seed: *seed, KeepFactor: *keep}
+	if *cluster != "" {
+		cl, err := topology.LoadCluster(*cluster)
+		if err != nil {
+			fatal(err)
+		}
+		o.Cluster = cl
+	} else {
+		m, err := topology.LoadMachine(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		o.Machine = m
 	}
-	o := search.Options{Machine: m, Iters: *iters, Seed: *seed, KeepFactor: *keep}
 	if !*quiet {
 		o.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "tune: "+format+"\n", args...)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/coll/basic"
+	"repro/internal/coll/hier"
 	"repro/internal/coll/mpich2"
 	"repro/internal/coll/smcoll"
 	"repro/internal/coll/tuned"
@@ -118,6 +119,51 @@ func BasicSM() Comp { return Comp{Name: "Basic-SM", BTL: mpi.BTLSM, New: basic.N
 
 // SMColl is the Graham et al. fan-in/fan-out component (related work).
 func SMColl() Comp { return Comp{Name: "SM-Coll", BTL: mpi.BTLSM, New: smcoll.New, Key: "SM-Coll"} }
+
+// Hier is the cluster-level hierarchical family with a binomial/pipelined
+// tree among the node leaders, over the cluster's composite machine
+// (Config.Machine must be cl.Global for the cells to make sense; the memo
+// key distinguishes clusters through the machine fingerprint).
+func Hier(cl *topology.Cluster) Comp { return HierCfg(cl, hier.Config{}) }
+
+// HierCfg is the hierarchical family with explicit configuration.
+func HierCfg(cl *topology.Cluster, cfg hier.Config) Comp {
+	inter := cfg.Inter
+	if inter == "" {
+		inter = "tree"
+	}
+	name := "Hier-Tree"
+	if inter == "ring" {
+		name = "Hier-Ring"
+	}
+	return Comp{
+		Name: name, BTL: mpi.BTLSM,
+		New: hier.NewWithConfig(cl, cfg),
+		Key: hierCfgKey(cfg),
+	}
+}
+
+// hierCfgKey canonically encodes a hier.Config; same contract as
+// coreCfgKey. The cluster shape itself is covered by the cell's machine
+// fingerprint (the composite machine embeds nodes and fabric).
+func hierCfgKey(cfg hier.Config) string {
+	if cfg.Fallback != nil {
+		return ""
+	}
+	inter := cfg.Inter
+	if inter == "" {
+		inter = "tree"
+	}
+	knemMin := cfg.KnemMin
+	if knemMin == 0 {
+		knemMin = 16 << 10
+	}
+	interSeg := cfg.InterSeg
+	if interSeg == 0 {
+		interSeg = 128 << 10
+	}
+	return fmt.Sprintf("Hier|inter=%s|knemmin=%d|interseg=%d", inter, knemMin, interSeg)
+}
 
 // coreCfgKey canonically encodes a core.Config for memoization. Every
 // field of core.Config must appear here (or make the key empty): a field

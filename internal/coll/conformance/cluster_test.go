@@ -1,0 +1,238 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/coll/hier"
+	"repro/internal/coll/tuned"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Cluster dimension of the conformance harness: every hierarchical
+// collective must deliver bit-for-bit the same payload bytes as the flat
+// reference component run over the same global communicator on the same
+// composite machine. Cells cover np ∈ {8, 64, 256} across 2–8 nodes.
+
+// clusterSpec is the shared scalar spec of every synthetic cluster node.
+var clusterSpec = topology.Spec{
+	CoreCopyBW:  4.5e9,
+	KernelTrap:  100e-9,
+	CopySetup:   500e-9,
+	PinPerPage:  40e-9,
+	CtrlLatency: 300e-9,
+	Flops:       5.5e9,
+}
+
+func clusterResolve(ref string) (*topology.Machine, error) {
+	switch ref {
+	case "quadbox": // 4 cores: 2 sockets × 2
+		return topology.Synthetic(topology.SyntheticSpec{
+			Boards: 1, SocketsPerBoard: 2, CoresPerSocket: 2,
+			BusBW: 16e9, LinkBW: 11e9,
+			CacheSize: 8 << 20, CachePortBW: 30e9,
+			Spec: clusterSpec,
+		}), nil
+	case "bigbox": // 32 cores: 4 sockets × 8
+		return topology.Synthetic(topology.SyntheticSpec{
+			Boards: 1, SocketsPerBoard: 4, CoresPerSocket: 8,
+			BusBW: 20e9, LinkBW: 12e9,
+			CacheSize: 18 << 20, CachePortBW: 32e9,
+			Spec: clusterSpec,
+		}), nil
+	}
+	if m := topology.ByName(ref); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", ref)
+}
+
+type cenv struct {
+	name string
+	cl   *topology.Cluster
+	np   int
+}
+
+func mustCompile(t *testing.T, cfg topology.ClusterConfig) *topology.Cluster {
+	t.Helper()
+	cl, err := topology.CompileCluster(cfg, clusterResolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// clusterEnvs builds the (np, nodes) grid: 8 ranks over 2 nodes, 64 over
+// 4, 256 over 8. np always equals the cluster's core count so the default
+// identity mapping fills every node.
+func clusterEnvs(t *testing.T) []cenv {
+	t.Helper()
+	nodes := func(n int, machine string) []topology.NodeSpec {
+		ns := make([]topology.NodeSpec, n)
+		for i := range ns {
+			ns[i] = topology.NodeSpec{Name: fmt.Sprintf("n%d", i), Machine: machine}
+		}
+		return ns
+	}
+	return []cenv{
+		{"np8x2nodes", mustCompile(t, topology.ClusterConfig{
+			Name:  "pair",
+			Nodes: nodes(2, "quadbox"),
+			Links: []topology.LinkSpec{{A: "n0", B: "n1", Name: "eth0", BW: 1.25e9, Lat: 50e-6}},
+		}), 8},
+		{"np64x4nodes", mustCompile(t, topology.ClusterConfig{
+			Name:   "quad",
+			Nodes:  nodes(4, "Saturn"),
+			Switch: &topology.SwitchSpec{Name: "sw", BW: 3e9, Lat: 2e-6},
+		}), 64},
+		{"np256x8nodes", mustCompile(t, topology.ClusterConfig{
+			Name:   "rack",
+			Nodes:  nodes(8, "bigbox"),
+			Switch: &topology.SwitchSpec{Name: "tor", BW: 6e9, Lat: 2e-6},
+		}), 256},
+	}
+}
+
+// hierFactories returns the hierarchical components under test for a
+// cluster, plus the flat reference they must match byte for byte.
+func hierFactories(cl *topology.Cluster) []factory {
+	return []factory{
+		{"hier-tree", mpi.BTLSM, hier.New(cl)},
+		{"hier-ring", mpi.BTLSM, hier.NewWithConfig(cl, hier.Config{Inter: "ring"})},
+	}
+}
+
+var flatReference = factory{"tuned-sm", mpi.BTLSM, tuned.New}
+
+// runCluster executes body over the cluster's composite machine and
+// returns the per-rank payload snapshots body stores.
+func runCluster(t *testing.T, f factory, e cenv, body func(r *mpi.Rank, out [][]byte)) [][]byte {
+	t.Helper()
+	out := make([][]byte, e.np)
+	_, _, err := mpi.Run(mpi.Options{
+		Machine:  e.cl.Global,
+		NP:       e.np,
+		BTL:      f.btl,
+		Coll:     f.make,
+		WithData: true,
+	}, func(r *mpi.Rank) { body(r, out) })
+	if err != nil {
+		t.Fatalf("%s/%s: %v", f.name, e.name, err)
+	}
+	return out
+}
+
+// diffOut asserts two per-rank snapshots are bit-for-bit identical.
+func diffOut(t *testing.T, what string, got, want [][]byte) {
+	t.Helper()
+	for rank := range want {
+		if !bytes.Equal(got[rank], want[rank]) {
+			i := 0
+			for i < len(want[rank]) && i < len(got[rank]) && got[rank][i] == want[rank][i] {
+				i++
+			}
+			t.Fatalf("%s: rank %d differs from flat reference at byte %d", what, rank, i)
+		}
+	}
+}
+
+func TestClusterBcast(t *testing.T) {
+	// 4 KiB runs the generic intra-node path, 96 KiB the KNEM region path.
+	sizes := []int64{4 << 10, 96 << 10}
+	for _, e := range clusterEnvs(t) {
+		for _, size := range sizes {
+			for _, root := range []int{0, e.np - 1} {
+				body := func(r *mpi.Rank, out [][]byte) {
+					b := r.Alloc(size)
+					if r.ID() == root {
+						fillPat(b, root)
+					}
+					r.Bcast(b.Whole(), root)
+					out[r.ID()] = append([]byte(nil), b.Data...)
+				}
+				want := runCluster(t, flatReference, e, body)
+				for _, f := range hierFactories(e.cl) {
+					name := fmt.Sprintf("%s/%s/%d/root%d", f.name, e.name, size, root)
+					t.Run(name, func(t *testing.T) {
+						got := runCluster(t, f, e, body)
+						diffOut(t, name, got, want)
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestClusterReduce(t *testing.T) {
+	// Integer sum is associative and commutative, so the hierarchical
+	// combine order must still produce exactly the flat result.
+	const size = 4 << 10
+	for _, e := range clusterEnvs(t) {
+		root := e.np / 2
+		body := func(r *mpi.Rank, out [][]byte) {
+			send := r.Alloc(size)
+			fillPat(send, r.ID())
+			recv := r.Alloc(size)
+			r.Reduce(send.Whole(), recv.Whole(), mpi.OpSumInt32, root)
+			if r.ID() == root {
+				out[r.ID()] = append([]byte(nil), recv.Data...)
+			}
+		}
+		want := runCluster(t, flatReference, e, body)
+		for _, f := range hierFactories(e.cl) {
+			name := fmt.Sprintf("%s/%s/sum_int32", f.name, e.name)
+			t.Run(name, func(t *testing.T) {
+				diffOut(t, name, runCluster(t, f, e, body), want)
+			})
+		}
+	}
+}
+
+func TestClusterAllgather(t *testing.T) {
+	const blk = 1 << 10
+	for _, e := range clusterEnvs(t) {
+		body := func(r *mpi.Rank, out [][]byte) {
+			send := r.Alloc(blk)
+			fillPat(send, r.ID())
+			recv := r.Alloc(int64(e.np) * blk)
+			r.Allgather(send.Whole(), recv.Whole())
+			out[r.ID()] = append([]byte(nil), recv.Data...)
+		}
+		want := runCluster(t, flatReference, e, body)
+		for _, f := range hierFactories(e.cl) {
+			name := fmt.Sprintf("%s/%s/%d", f.name, e.name, blk)
+			t.Run(name, func(t *testing.T) {
+				diffOut(t, name, runCluster(t, f, e, body), want)
+			})
+		}
+	}
+}
+
+// The hierarchical component must actually use the KNEM region protocol
+// for large intra-node payloads — otherwise the cluster cells above would
+// silently validate the fallback path only.
+func TestClusterBcastUsesKnem(t *testing.T) {
+	e := clusterEnvs(t)[0]
+	_, w, err := mpi.Run(mpi.Options{
+		Machine:  e.cl.Global,
+		NP:       e.np,
+		BTL:      mpi.BTLSM,
+		Coll:     hier.New(e.cl),
+		WithData: true,
+	}, func(r *mpi.Rank) {
+		b := r.Alloc(96 << 10)
+		r.Bcast(b.Whole(), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One region per node leader (2 nodes).
+	if w.Stats().Registrations != 2 {
+		t.Fatalf("registrations = %d, want 2 (one per node leader)", w.Stats().Registrations)
+	}
+	if w.Knem().ActiveRegions() != 0 {
+		t.Fatalf("%d KNEM regions leaked", w.Knem().ActiveRegions())
+	}
+}

@@ -71,6 +71,11 @@ type Plan struct {
 	// Straggler delays the named ranks by the given seconds at every
 	// collective entry, modelling uneven per-rank progress.
 	Straggler map[int]float64
+	// LeaderDown marks world ranks as ineligible to act as node leaders
+	// in hierarchical collectives: the hierarchical component re-elects
+	// around them at construction, modelling a node whose designated
+	// leader process failed before the job's collective phase.
+	LeaderDown map[int]bool
 
 	// MaxRetries bounds the collective component's retries of a transient
 	// fault before it degrades the operation (default 3).
@@ -87,7 +92,8 @@ func (p *Plan) Empty() bool {
 		(p.PinnedPageBudget == 0 && p.CreateFailEvery == 0 && p.CreateTransient == 0 &&
 			p.CopyTransient == 0 && p.InvalidateEvery == 0 &&
 			p.DMAFailEvery == 0 && p.DMAStallEvery == 0 &&
-			len(p.LinkSlowdown) == 0 && len(p.Straggler) == 0)
+			len(p.LinkSlowdown) == 0 && len(p.Straggler) == 0 &&
+			len(p.LeaderDown) == 0)
 }
 
 // Outcome is the injector's verdict on one module call.
@@ -247,6 +253,12 @@ func (in *Injector) LinkScale(name string) float64 {
 // collective entry (0 for non-stragglers).
 func (in *Injector) Straggle(rank int) float64 {
 	return in.plan.Straggler[rank]
+}
+
+// LeaderDown reports whether the given rank is barred from serving as a
+// node leader in hierarchical collectives.
+func (in *Injector) LeaderDown(rank int) bool {
+	return in.plan.LeaderDown[rank]
 }
 
 // MaxRetries returns the plan's retry bound (default 3).

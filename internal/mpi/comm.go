@@ -38,6 +38,27 @@ func newComm(w *World, id int, members []int) *Comm {
 	return c
 }
 
+// NewComm creates a communicator over the given world ranks (in comm-rank
+// order) without the collective Split exchange. It is meant for component
+// constructors that carve the world into statically known groups — e.g.
+// the hierarchical family's per-node and leader communicators — before any
+// rank body runs; each call allocates a fresh disjoint tag space. Members
+// must be distinct, valid world ranks.
+func (w *World) NewComm(members []int) *Comm {
+	if len(members) == 0 {
+		panic("mpi: NewComm with no members")
+	}
+	seen := make(map[int]bool, len(members))
+	for _, m := range members {
+		if m < 0 || m >= len(w.ranks) || seen[m] {
+			panic(fmt.Sprintf("mpi: NewComm with bad members %v", members))
+		}
+		seen[m] = true
+	}
+	w.nextComm++
+	return newComm(w, w.nextComm, append([]int(nil), members...))
+}
+
 // Size returns the number of members.
 func (c *Comm) Size() int { return len(c.members) }
 

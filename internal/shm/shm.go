@@ -74,6 +74,10 @@ type Transport struct {
 	// arg-event instead of a fresh closure + event pair.
 	deliverFn func(any)
 	dpool     []*delivery
+
+	// hasLat caches Machine.HasLatency so the single-machine control path
+	// pays nothing for the cluster fabric-latency feature.
+	hasLat bool
 }
 
 // delivery is one in-flight control message awaiting its latency event.
@@ -93,6 +97,7 @@ func New(net *memsim.Net, cores []*topology.Core, cfg Config) *Transport {
 		cores: cores,
 		pairs: make(map[[2]int]*Pair),
 	}
+	t.hasLat = net.Machine().HasLatency()
 	t.deliverFn = t.deliver
 	for range cores {
 		t.mail = append(t.mail, sim.NewChan[Msg](net.Engine(), 1<<30))
@@ -110,13 +115,18 @@ func (t *Transport) Core(id int) *topology.Core { return t.cores[id] }
 func (t *Transport) N() int { return len(t.cores) }
 
 // SendCtrl delivers a small control message from -> to after the machine's
-// control latency. It does not block the sender.
+// control latency, plus any wire latency on the path between the two
+// endpoints' vertices (cluster fabric links; zero on single machines). It
+// does not block the sender.
 func (t *Transport) SendCtrl(from, to int, payload any) {
 	if to < 0 || to >= len(t.mail) {
 		panic(fmt.Sprintf("shm: SendCtrl to invalid endpoint %d", to))
 	}
 	t.stats.CtrlMsgs++
 	lat := t.net.Machine().Spec.CtrlLatency
+	if t.hasLat && from >= 0 && from < len(t.cores) {
+		lat += t.net.Machine().PathLatency(t.cores[from].Vertex, t.cores[to].Vertex)
+	}
 	d := t.newDelivery()
 	d.to, d.msg = to, Msg{From: from, Payload: payload}
 	t.net.Engine().ScheduleOwnedArg(lat, t.deliverFn, d)

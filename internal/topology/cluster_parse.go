@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ParseCluster reads a cluster description. The format is line-oriented;
+// '#' starts a comment. Example:
+//
+//	cluster quad
+//	node n0 machine=Dancer
+//	node n1 machine=Dancer
+//	node n2 machine=Dancer
+//	node n3 machine=Dancer
+//	switch sw0 bw=1.25G lat=2u
+//	link n0 n1 eth0 1.25G lat=50u
+//
+// Rates take decimal suffixes (K/M/G); latencies take n/u/m. A machine
+// reference is a built-in name or a .machine file path (resolved relative
+// to the cluster file by LoadCluster). Parsing is purely syntactic —
+// semantic validation (unknown nodes, duplicate links, connectivity) is
+// CompileCluster's job, so a parsed config can be rendered and re-parsed
+// even when it would not compile.
+func ParseCluster(rd io.Reader) (ClusterConfig, error) {
+	var cfg ClusterConfig
+	sc := bufio.NewScanner(rd)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("cluster file line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "cluster":
+			if len(fields) != 2 {
+				return ClusterConfig{}, fail("cluster wants one name")
+			}
+			if cfg.Name != "" {
+				return ClusterConfig{}, fail("duplicate cluster directive")
+			}
+			cfg.Name = fields[1]
+		case "node":
+			if len(fields) != 3 {
+				return ClusterConfig{}, fail("node wants: node <name> machine=<ref>")
+			}
+			k, v, err := splitKV(fields[2])
+			if err != nil {
+				return ClusterConfig{}, fail("%v", err)
+			}
+			if k != "machine" {
+				return ClusterConfig{}, fail("unknown node field %q", k)
+			}
+			cfg.Nodes = append(cfg.Nodes, NodeSpec{Name: fields[1], Machine: v})
+		case "link":
+			if len(fields) != 5 && len(fields) != 6 {
+				return ClusterConfig{}, fail("link wants: link <nodeA> <nodeB> <name> <bw> [lat=<time>]")
+			}
+			l := LinkSpec{A: fields[1], B: fields[2], Name: fields[3]}
+			var err error
+			if l.BW, err = parseRate(fields[4]); err != nil {
+				return ClusterConfig{}, fail("link bw: %v", err)
+			}
+			if len(fields) == 6 {
+				k, v, err := splitKV(fields[5])
+				if err != nil {
+					return ClusterConfig{}, fail("%v", err)
+				}
+				if k != "lat" {
+					return ClusterConfig{}, fail("unknown link field %q", k)
+				}
+				if l.Lat, err = parseTime(v); err != nil {
+					return ClusterConfig{}, fail("link lat: %v", err)
+				}
+			}
+			cfg.Links = append(cfg.Links, l)
+		case "switch":
+			if cfg.Switch != nil {
+				return ClusterConfig{}, fail("duplicate switch directive")
+			}
+			if len(fields) < 3 {
+				return ClusterConfig{}, fail("switch wants: switch <name> bw=<rate> [lat=<time>]")
+			}
+			sw := SwitchSpec{Name: fields[1]}
+			for _, kv := range fields[2:] {
+				k, v, err := splitKV(kv)
+				if err != nil {
+					return ClusterConfig{}, fail("%v", err)
+				}
+				switch k {
+				case "bw":
+					sw.BW, err = parseRate(v)
+				case "lat":
+					sw.Lat, err = parseTime(v)
+				default:
+					return ClusterConfig{}, fail("unknown switch field %q", k)
+				}
+				if err != nil {
+					return ClusterConfig{}, fail("%s: %v", k, err)
+				}
+			}
+			if sw.BW <= 0 {
+				return ClusterConfig{}, fail("switch %s needs positive bw", sw.Name)
+			}
+			cfg.Switch = &sw
+		default:
+			return ClusterConfig{}, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ClusterConfig{}, err
+	}
+	if cfg.Name == "" {
+		return ClusterConfig{}, fmt.Errorf("cluster file: missing 'cluster <name>' line")
+	}
+	return cfg, nil
+}
+
+// Render writes the configuration back out in canonical form: one
+// directive per line, nodes then switch then links in declaration order,
+// rates and latencies as plain %g numbers (parseRate and parseTime accept
+// scientific notation). Render∘Parse is idempotent, which the cluster
+// fuzzer exploits: parsing a rendered config yields an identical config.
+func (cfg ClusterConfig) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster %s\n", cfg.Name)
+	for _, n := range cfg.Nodes {
+		fmt.Fprintf(&sb, "node %s machine=%s\n", n.Name, n.Machine)
+	}
+	if sw := cfg.Switch; sw != nil {
+		fmt.Fprintf(&sb, "switch %s bw=%g", sw.Name, sw.BW)
+		if sw.Lat != 0 {
+			fmt.Fprintf(&sb, " lat=%g", sw.Lat)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, l := range cfg.Links {
+		fmt.Fprintf(&sb, "link %s %s %s %g", l.A, l.B, l.Name, l.BW)
+		if l.Lat != 0 {
+			fmt.Fprintf(&sb, " lat=%g", l.Lat)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// LoadCluster parses and compiles a .cluster file. Node machine references
+// resolve as built-in names first, then as file paths relative to the
+// cluster file's directory.
+func LoadCluster(path string) (*Cluster, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: cluster file: %w", err)
+	}
+	defer f.Close()
+	cfg, err := ParseCluster(f)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	return CompileCluster(cfg, func(ref string) (*Machine, error) {
+		if m := ByName(ref); m != nil {
+			return m, nil
+		}
+		p := ref
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		return LoadMachine(p)
+	})
+}

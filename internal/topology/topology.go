@@ -27,6 +27,10 @@ type Link struct {
 	Name  string
 	// BW is the link capacity in bytes per second.
 	BW float64
+	// Lat is the per-traversal latency of the link in seconds. Intra-node
+	// links have zero latency (the paper's model charges control latency
+	// separately); cluster fabric links carry real wire latency.
+	Lat float64
 }
 
 // Core is a processing unit. Every core has a private copy engine link
@@ -105,6 +109,8 @@ type Machine struct {
 	adj    [][]edge // adjacency by vertex
 	paths  [][][]*Link
 	hops   [][]int
+	hasLat bool        // any interconnect link with nonzero latency
+	lats   [][]float64 // per vertex pair: summed link latency along the route
 }
 
 type edge struct {
@@ -141,7 +147,14 @@ func (b *Builder) newLink(name string, bw float64) *Link {
 
 // Connect adds a bidirectional interconnect link between two vertices.
 func (b *Builder) Connect(u, v int, name string, bw float64) *Link {
+	return b.ConnectLat(u, v, name, bw, 0)
+}
+
+// ConnectLat adds a bidirectional interconnect link with a per-traversal
+// latency (cluster fabric links; intra-node links use Connect).
+func (b *Builder) ConnectLat(u, v int, name string, bw, lat float64) *Link {
 	l := b.newLink(name, bw)
+	l.Lat = lat
 	for len(b.m.adj) < b.m.nVerts {
 		b.m.adj = append(b.m.adj, nil)
 	}
@@ -251,6 +264,69 @@ func (m *Machine) route() {
 			m.paths[s][t] = rev
 		}
 	}
+	for _, l := range m.Links {
+		if l.Lat != 0 {
+			m.hasLat = true
+			break
+		}
+	}
+	if m.hasLat {
+		m.lats = make([][]float64, n)
+		for s := 0; s < n; s++ {
+			m.lats[s] = make([]float64, n)
+			for t := 0; t < n; t++ {
+				var sum float64
+				for _, l := range m.paths[s][t] {
+					sum += l.Lat
+				}
+				m.lats[s][t] = sum
+			}
+		}
+	}
+}
+
+// HasLatency reports whether any interconnect link carries a nonzero
+// latency (true only for cluster machines; the fast path of the transports
+// skips latency lookups entirely when false).
+func (m *Machine) HasLatency() bool { return m.hasLat }
+
+// PathLatency returns the summed link latency along the route between two
+// vertices (zero on machines without latencied links).
+func (m *Machine) PathLatency(u, v int) float64 {
+	if !m.hasLat {
+		return 0
+	}
+	return m.lats[u][v]
+}
+
+// NVerts returns the number of routing vertices.
+func (m *Machine) NVerts() int { return m.nVerts }
+
+// Edge is one interconnect connection as declared by Connect/ConnectLat,
+// recoverable from a built machine (CompileCluster replicates node graphs
+// through it).
+type Edge struct {
+	U, V int
+	Link *Link
+}
+
+// Edges returns every interconnect link with its endpoints, in a
+// deterministic order (ascending lower endpoint, then declaration order).
+// Bus, cache-port, core-engine, and DMA links have no endpoints and are not
+// included.
+func (m *Machine) Edges() []Edge {
+	seen := make(map[*Link]bool)
+	var out []Edge
+	for u := 0; u < m.nVerts; u++ {
+		for _, e := range m.adj[u] {
+			if seen[e.link] {
+				continue
+			}
+			seen[e.link] = true
+			out = append(out, Edge{U: u, V: e.to, Link: e.link})
+		}
+	}
+	return out
 }
 
 // VertexPath returns the interconnect links between two vertices.

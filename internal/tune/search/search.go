@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/coll/hier"
 	"repro/internal/coll/tuned"
 	"repro/internal/core"
 	"repro/internal/mpi"
@@ -38,6 +39,11 @@ const DefaultKeepFactor = 1.5
 // Options configures one search.
 type Options struct {
 	Machine *topology.Machine
+	// Cluster, when non-nil, runs a cluster search: Machine defaults to
+	// the cluster's composite machine (and must equal it when both are
+	// set), and the hierarchical node-leader family joins the candidate
+	// grid for the operations it decomposes.
+	Cluster *topology.Cluster
 	// Ops to tune; default tune.Ops() minus the vector variants (their
 	// per-rank counts admit no globally consistent size switch, so the
 	// runtime cannot apply per-size decisions to them).
@@ -60,6 +66,13 @@ type Options struct {
 }
 
 func (o *Options) fill() error {
+	if o.Cluster != nil {
+		if o.Machine == nil {
+			o.Machine = o.Cluster.Global
+		} else if o.Machine != o.Cluster.Global {
+			return fmt.Errorf("search: Machine differs from Cluster.Global")
+		}
+	}
 	if o.Machine == nil {
 		return fmt.Errorf("search: no machine")
 	}
@@ -147,11 +160,12 @@ func thresholdCandidates() []int64 {
 }
 
 // candidates returns the deterministic candidate list for one op on one
-// machine. Order matters: winners tie-break toward earlier entries.
-func candidates(m *topology.Machine, op string) []candidate {
+// machine (plus the hierarchical family when a cluster is being searched).
+// Order matters: winners tie-break toward earlier entries.
+func candidates(m *topology.Machine, cl *topology.Cluster, op string) []candidate {
 	var cands []candidate
 	add := func(ch tune.Choice, fam family, def bool) {
-		cands = append(cands, candidate{choice: ch, comp: compFor(ch), fam: fam, def: def})
+		cands = append(cands, candidate{choice: ch, comp: compFor(ch, cl), fam: fam, def: def})
 	}
 	// Family defaults first: they are every cell's baseline.
 	add(tune.Choice{Comp: "KNEM-Coll"}, famKnem, true)
@@ -179,6 +193,18 @@ func candidates(m *topology.Machine, op string) []candidate {
 	case tune.OpAllgather:
 		add(tune.Choice{Comp: "KNEM-Coll", Mode: "ring"}, famKnem, false)
 	}
+	// On cluster searches the hierarchical family competes for every op it
+	// actually decomposes (the rest delegate to Tuned-SM and would only
+	// duplicate its times). Defaults so the probe round never prunes them:
+	// fabric-dominated cells can look hopeless at probe sizes yet win the
+	// full grid.
+	if cl != nil {
+		switch op {
+		case tune.OpBcast, tune.OpGather, tune.OpScatter, tune.OpAllgather:
+			add(tune.Choice{Comp: "Hier-Tree"}, famOther, true)
+			add(tune.Choice{Comp: "Hier-Ring"}, famOther, true)
+		}
+	}
 	return cands
 }
 
@@ -186,9 +212,13 @@ func candidates(m *topology.Machine, op string) []candidate {
 // explicit core/tuned Configs here mirror exactly what the runtime Decider
 // application reconstructs from the persisted Choice, so a decided run
 // reproduces the searched time.
-func compFor(ch tune.Choice) bench.Comp {
+func compFor(ch tune.Choice, cl *topology.Cluster) bench.Comp {
 	name := ch.String()
 	switch ch.Comp {
+	case "Hier-Tree":
+		return bench.Hier(cl)
+	case "Hier-Ring":
+		return bench.HierCfg(cl, hier.Config{Inter: "ring"})
 	case "KNEM-Coll":
 		cfg := core.Config{Threshold: ch.Threshold, FixedSeg: ch.Seg}
 		switch ch.Mode {
@@ -255,7 +285,7 @@ func Run(o Options) (*tune.Table, error) {
 // searchOpNP runs the two successive-halving rounds for one (op, np) pair
 // and builds its cells.
 func searchOpNP(o Options, op string, np int, sizes []int64) ([]tune.Cell, error) {
-	cands := candidates(o.Machine, op)
+	cands := candidates(o.Machine, o.Cluster, op)
 	probes := probeSizes(sizes)
 
 	measure := func(cs []candidate, szs []int64) [][]float64 {

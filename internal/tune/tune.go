@@ -59,7 +59,8 @@ func Ops() []string {
 // default".
 type Choice struct {
 	// Comp names the winning component configuration: "KNEM-Coll",
-	// "Tuned-SM", "Tuned-KNEM", "MPICH2-SM", "MPICH2-KNEM", "SM-Coll".
+	// "Tuned-SM", "Tuned-KNEM", "MPICH2-SM", "MPICH2-KNEM", "SM-Coll",
+	// or — on cluster searches — "Hier-Tree" / "Hier-Ring".
 	Comp string `json:"comp"`
 	// Mode is the KNEM-Coll Broadcast topology ("linear", "hierarchical",
 	// "multilevel") or "ring" for the KNEM-Coll ring Allgather; empty
@@ -176,6 +177,7 @@ type Table struct {
 var knownComps = map[string]bool{
 	"KNEM-Coll": true, "Tuned-SM": true, "Tuned-KNEM": true,
 	"MPICH2-SM": true, "MPICH2-KNEM": true, "SM-Coll": true, "Basic-SM": true,
+	"Hier-Tree": true, "Hier-Ring": true,
 }
 
 func validChoice(ch Choice, where string) error {
@@ -381,6 +383,12 @@ func Fingerprint(m *topology.Machine) string {
 		s.CoreCopyBW, s.KernelTrap, s.CopySetup, s.PinPerPage, s.CtrlLatency, s.Flops, s.DMABw)
 	for _, l := range m.Links {
 		fmt.Fprintf(&b, "|link %d %s %g", l.Index, l.Name, l.BW)
+		if l.Lat != 0 {
+			// Emitted only when set so latency-free machines (every
+			// single-node model) keep their pre-cluster fingerprints and
+			// committed decision tables stay valid.
+			fmt.Fprintf(&b, " lat%g", l.Lat)
+		}
 	}
 	for _, d := range m.Domains {
 		fmt.Fprintf(&b, "|dom %d v%d b%d", d.ID, d.Vertex, d.Board)
