@@ -5,7 +5,7 @@ GO ?= go
 # silently measuring a degenerate trajectory) on single-core runners.
 SIMBENCH_FLAGS ?=
 
-.PHONY: all check test test-race vet fuzz-short bench bench-smoke cluster-smoke figures table1 results tune-smoke profile clean
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke cluster-smoke scale-smoke figures table1 results tune-smoke profile clean
 
 all: test vet
 
@@ -28,6 +28,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzParseMachine -fuzztime=10s ./internal/topology
 	$(GO) test -run=NONE -fuzz=FuzzClusterConfig -fuzztime=10s ./internal/topology
 	$(GO) test -run=NONE -fuzz=FuzzDecisionTable -fuzztime=10s ./internal/tune
+	$(GO) test -run=NONE -fuzz=FuzzEventQueue -fuzztime=10s ./internal/sim
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=100ms ./internal/sim ./internal/memsim
@@ -104,6 +105,16 @@ cluster-smoke:
 	$(GO) run ./cmd/imb -cluster machines/cluster4.cluster -op bcast -sizes 64K,1M -iters 1 -parallel 4 -cache-dir /tmp/cluster-smoke-cache > /tmp/cluster-smoke-b.txt 2>/tmp/cluster-smoke-b.err
 	cmp /tmp/cluster-smoke-a.txt /tmp/cluster-smoke-b.txt
 	grep -q ", 0 misses" /tmp/cluster-smoke-b.err
+
+# Many-core scaling smoke: drive the 512-core synthetic machine (the
+# engine-scaling stress cell) end to end under the race detector, at
+# -parallel 1 and -parallel 4 with the memo cache off so both runs truly
+# simulate — the sharded sweep runner's reuse of engines and nets across
+# cells must keep the tables byte-identical at every parallelism level.
+scale-smoke:
+	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 1 -no-cache > /tmp/scale-smoke-a.txt
+	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 4 -no-cache > /tmp/scale-smoke-b.txt
+	cmp /tmp/scale-smoke-a.txt /tmp/scale-smoke-b.txt
 
 clean:
 	$(GO) clean ./...

@@ -43,25 +43,35 @@ import (
 
 const MB = 1 << 20
 
-// Report is the BENCH_sim.json schema ("bench_sim/v4"; v3 lacked the
-// cluster section, v2 lacked the core/bcast_cell_64KiB scenario and the
-// zero-allocation gates, v1 lacked the tune_search section, the
+// Report is the BENCH_sim.json schema ("bench_sim/v5"; v4 lacked the
+// many-core scale cells (core/bcast_cell_128, core/bcast_cell_512, the
+// 1024-rank cluster cell) and the binary-heap queue baseline, v3 lacked
+// the cluster section, v2 lacked the core/bcast_cell_64KiB scenario and
+// the zero-allocation gates, v1 lacked the tune_search section, the
 // parallel-sweep skip annotation, and the channel-engine baseline).
 type Report struct {
-	Schema     string         `json:"schema"`
-	GoVersion  string         `json:"go"`
-	CPUs       int            `json:"cpus"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Short      bool           `json:"short"`
-	Benchmarks []BenchLine    `json:"benchmarks"`
-	Sweep      SweepLine      `json:"sweep"`
-	Cluster    ClusterLine    `json:"cluster"`
-	TuneSearch TuneSearchLine `json:"tune_search"`
-	Baseline   []BenchLine    `json:"baseline_pre_optimization"`
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go"`
+	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Short      bool        `json:"short"`
+	Benchmarks []BenchLine `json:"benchmarks"`
+	Sweep      SweepLine   `json:"sweep"`
+	Cluster    ClusterLine `json:"cluster"`
+	// Cluster1024 is the 1024-rank hierarchical broadcast over sixteen
+	// 64-core nodes — the "10k simulated ranks per cluster run" direction
+	// at a size one CI runner can still time.
+	Cluster1024 ClusterLine    `json:"cluster_1024"`
+	TuneSearch  TuneSearchLine `json:"tune_search"`
+	Baseline    []BenchLine    `json:"baseline_pre_optimization"`
 	// BaselineChannels records the goroutine-channel engine's committed
 	// numbers immediately before the coroutine switch, so this report
 	// always shows the handoff and sweep trajectory across that change.
 	BaselineChannels EngineBaseline `json:"baseline_channel_engine"`
+	// BaselineHeapQueue records the committed numbers of the
+	// container/heap event queue immediately before the switch to the
+	// bucketed calendar queue, measured on the same scenarios.
+	BaselineHeapQueue []BenchLine `json:"baseline_binary_heap_queue"`
 }
 
 // BenchLine is one micro-benchmark result (or recorded baseline).
@@ -139,6 +149,19 @@ var channelBaseline = EngineBaseline{
 	SweepSecondsSequential: 2.793275014,
 }
 
+// heapBaseline is the committed snapshot of the container/heap binary-heap
+// event queue, measured on this codebase immediately before the switch to
+// the bucketed calendar queue (benchtime ~1s, GOMAXPROCS=1). The
+// schedule_fire alloc is the per-event box the heap path could never shed;
+// the many-core cells are dominated by queue traffic, which is where the
+// calendar queue pays off.
+var heapBaseline = []BenchLine{
+	{Name: "sim/schedule_fire", NsPerOp: 70.9, AllocsPerOp: 1, BytesPerOp: 80},
+	{Name: "core/bcast_cell_64KiB", NsPerOp: 25313, AllocsPerOp: 0, BytesPerOp: 0},
+	{Name: "core/bcast_cell_128", NsPerOp: 1951049, AllocsPerOp: 60, BytesPerOp: 1806},
+	{Name: "core/bcast_cell_512", NsPerOp: 25023983, AllocsPerOp: 284, BytesPerOp: 9034},
+}
+
 func main() {
 	short := flag.Bool("short", false, "CI smoke mode: tiny sweep and search grid, capped benchtime")
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
@@ -185,13 +208,14 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:           "bench_sim/v4",
-		GoVersion:        runtime.Version(),
-		CPUs:             runtime.NumCPU(),
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		Short:            *short,
-		Baseline:         baseline,
-		BaselineChannels: channelBaseline,
+		Schema:            "bench_sim/v5",
+		GoVersion:         runtime.Version(),
+		CPUs:              runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Short:             *short,
+		Baseline:          baseline,
+		BaselineChannels:  channelBaseline,
+		BaselineHeapQueue: heapBaseline,
 	}
 
 	// testing.Benchmark self-calibrates to ~1s per scenario — short
@@ -211,9 +235,12 @@ func main() {
 	run("sim/schedule_fire", benchScheduleFire)
 	run("sim/park_wake", benchParkWake)
 	run("core/bcast_cell_64KiB", benchBcastCell)
+	run("core/bcast_cell_128", benchBcastCellManyCore(128))
+	run("core/bcast_cell_512", benchBcastCellManyCore(512))
 
 	rep.Sweep = measureSweep(*short)
 	rep.Cluster = measureCluster(*short)
+	rep.Cluster1024 = measureCluster1024(*short)
 	rep.TuneSearch = measureTuneSearch(*short)
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -265,26 +292,38 @@ func writeMemProfile(path string) {
 // rather than compared apples-to-oranges.
 func checkAgainst(cur, base *Report, tol float64) bool {
 	ok := true
-	// The copy/cache hot path and the full Broadcast cell are pinned
-	// allocation-free: Pending handles, cache entries, flows, OOB
-	// envelopes, and waiter records are all pooled.
-	for _, pinned := range []string{"memsim/copy_churn_64KiB", "core/bcast_cell_64KiB"} {
+	// The copy/cache hot path, the event queue, and the steady-state
+	// Broadcast cell are pinned allocation-free: events come from the
+	// engine's slab, and Pending handles, cache entries, flows, OOB
+	// envelopes, and waiter records are all pooled. The 128/512-rank
+	// many-core cells can't amortize world-scale structure growth (proc
+	// slabs, queue buckets, per-rank maps) to zero within a run, so they
+	// get a sub-linear per-rank budget instead: well above today's
+	// measured 60/262 allocs/op, far below anything O(np·segments).
+	for _, pin := range []struct {
+		name   string
+		budget int64
+	}{
+		{"memsim/copy_churn_64KiB", 0}, {"sim/schedule_fire", 0},
+		{"core/bcast_cell_64KiB", 0},
+		{"core/bcast_cell_128", 128}, {"core/bcast_cell_512", 512},
+	} {
 		found := false
 		for _, b := range cur.Benchmarks {
-			if b.Name != pinned {
+			if b.Name != pin.name {
 				continue
 			}
 			found = true
 			status := "ok"
-			if b.AllocsPerOp != 0 {
+			if b.AllocsPerOp > pin.budget {
 				status = "REGRESSION"
 				ok = false
 			}
-			fmt.Fprintf(os.Stderr, "simbench: check: %s allocs/op: %d (pinned to 0): %s\n",
-				pinned, b.AllocsPerOp, status)
+			fmt.Fprintf(os.Stderr, "simbench: check: %s allocs/op: %d (budget %d): %s\n",
+				pin.name, b.AllocsPerOp, pin.budget, status)
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "simbench: check: %s: scenario missing from this run\n", pinned)
+			fmt.Fprintf(os.Stderr, "simbench: check: %s: scenario missing from this run\n", pin.name)
 			ok = false
 		}
 	}
@@ -311,10 +350,16 @@ func checkAgainst(cur, base *Report, tol float64) bool {
 		return 0
 	}
 	compare("sim/park_wake ns/op", find(cur, "sim/park_wake"), find(base, "sim/park_wake"))
+	compare("core/bcast_cell_512 ns/op", find(cur, "core/bcast_cell_512"), find(base, "core/bcast_cell_512"))
 	if cur.Short == base.Short && cur.Sweep.Cells == base.Sweep.Cells {
 		compare("sweep seconds_sequential", cur.Sweep.Sequential, base.Sweep.Sequential)
 	} else {
 		fmt.Fprintln(os.Stderr, "simbench: check: sweep shapes differ (short/full), wall-clock comparison skipped")
+	}
+	if cur.Cluster1024.Nodes == base.Cluster1024.Nodes && cur.Cluster1024.Size == base.Cluster1024.Size {
+		compare("cluster_1024 seconds_wall", cur.Cluster1024.Wall, base.Cluster1024.Wall)
+	} else {
+		fmt.Fprintln(os.Stderr, "simbench: check: cluster_1024 shapes differ (short/full), wall-clock comparison skipped")
 	}
 	return ok
 }
@@ -420,6 +465,37 @@ func benchBcastCell(b *testing.B) {
 	}
 }
 
+// benchBcastCellManyCore is benchBcastCell at the ROADMAP's many-core
+// scale: one 64 KiB KNEM-Coll Broadcast across all 128 or 512 ranks of a
+// ManyCore node per op. These are the cells the bucketed event queue is
+// gated on — at 512 ranks every op pushes tens of thousands of events and
+// flow reprices through the engine.
+func benchBcastCellManyCore(cores int) func(b *testing.B) {
+	return func(b *testing.B) {
+		m := topology.ManyCore(cores)
+		b.ReportAllocs()
+		_, _, err := mpi.Run(mpi.Options{
+			Machine: m,
+			BTL:     mpi.BTLSM,
+			SHM:     shm.Config{FragSize: 128 << 10},
+			Coll:    core.New,
+		}, func(r *mpi.Rank) {
+			buf := r.Alloc(64 << 10).Whole()
+			r.Bcast(buf, 0) // warm-up: fill the free lists
+			r.Barrier()
+			if r.ID() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				r.Bcast(buf, 0)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // measureSweep times the reference sweep — Broadcast across the paper's
 // five components on IG — sequentially and, when the host can actually run
 // cells concurrently, with four concurrent cells.
@@ -488,6 +564,47 @@ func measureCluster(short bool) ClusterLine {
 			CacheSize: 18 << 20, CachePortBW: 32e9,
 			Spec: topology.Dancer().Spec,
 		})
+	}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, topology.NodeSpec{Name: fmt.Sprintf("n%d", i), Machine: "box"})
+	}
+	cl, err := topology.CompileCluster(cfg, func(string) (*topology.Machine, error) { return box, nil })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := bench.Measure(bench.Config{
+		Machine: cl.Global, Comp: bench.Hier(cl), Op: op, Size: size, Iters: 1, OffCache: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	return ClusterLine{
+		Nodes: nodes, NP: cl.Global.NCores(), Op: string(op), Size: size,
+		Simulated: res.Seconds, Wall: time.Since(start).Seconds(),
+	}
+}
+
+// measureCluster1024 times the 1024-rank hierarchical broadcast cell:
+// sixteen 64-core nodes behind one switch (-short drops to 8 nodes / 512
+// ranks so the smoke stays fast; the -check gate only compares matching
+// shapes).
+func measureCluster1024(short bool) ClusterLine {
+	nodes, op, size := 16, bench.OpBcast, int64(1*bench.MiB)
+	if short {
+		nodes, size = 8, 64*bench.KiB
+	}
+	box := topology.Synthetic(topology.SyntheticSpec{
+		Boards: 1, SocketsPerBoard: 8, CoresPerSocket: 8,
+		BusBW: 35e9, LinkBW: 18e9,
+		CacheSize: 32 << 20, CachePortBW: 60e9,
+		Spec: topology.ManyCore(128).Spec,
+	})
+	cfg := topology.ClusterConfig{
+		Name:   "simbench1024",
+		Switch: &topology.SwitchSpec{Name: "tor", BW: 12e9, Lat: 2e-6},
 	}
 	for i := 0; i < nodes; i++ {
 		cfg.Nodes = append(cfg.Nodes, topology.NodeSpec{Name: fmt.Sprintf("n%d", i), Machine: "box"})

@@ -256,6 +256,9 @@ func Measure(cfg Config) (Result, error) {
 	}
 	perRank := make([]float64, cfg.NP)
 	stats := &trace.Stats{}
+	sh := acquireShard()
+	defer releaseShard(sh)
+	eng, net := sh.lease(cfg.Machine, stats)
 	_, _, err := mpi.Run(mpi.Options{
 		Machine: cfg.Machine,
 		NP:      cfg.NP,
@@ -266,6 +269,8 @@ func Measure(cfg Config) (Result, error) {
 		Stats:   stats,
 		Fault:   cfg.Fault,
 		Decider: dec,
+		Engine:  eng,
+		Net:     net,
 	}, func(r *mpi.Rank) {
 		bufs := prepare(r, cfg)
 		var total float64

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Sweep sharding: every Measure cell used to build a fresh sim.Engine and
+// memsim.Net, so a 200-cell figure sweep paid 200 times for event slabs,
+// coroutine objects, interned routes, water-filling scratch, and
+// cache-entry pools. A shard is one worker's warmed copy of that state —
+// a private engine plus one memory system per machine it has measured —
+// leased for the duration of a cell and reset between cells. Engine.Reset
+// and Net.Reset restore observably-fresh state (same timestamps, same
+// sequence numbers, bit-identical runs) while keeping every pool, so the
+// arenas are sized in the worker's first cell and reused for the rest of
+// the sweep. Shards are taken from a pool sized by demand: concurrent
+// cells never share one, so results are byte-identical at every
+// -parallel level.
+
+type shard struct {
+	eng  *sim.Engine
+	nets map[*topology.Machine]*memsim.Net
+}
+
+var shardPool = sync.Pool{New: func() any {
+	return &shard{eng: sim.NewEngine(), nets: map[*topology.Machine]*memsim.Net{}}
+}}
+
+// acquireShard leases a warmed shard (or builds the pool's next one).
+func acquireShard() *shard { return shardPool.Get().(*shard) }
+
+// releaseShard returns a shard after its cell completes. The state left
+// behind is dirty; lease resets it on next use.
+func releaseShard(s *shard) { shardPool.Put(s) }
+
+// lease readies the shard for one cell on machine m: the engine is reset,
+// and m's memory system is reset onto the cell's stats sink (or built on
+// first use of m by this shard).
+func (s *shard) lease(m *topology.Machine, stats *trace.Stats) (*sim.Engine, *memsim.Net) {
+	s.eng.Reset()
+	n := s.nets[m]
+	if n == nil {
+		n = memsim.New(s.eng, m, stats)
+		s.nets[m] = n
+	} else {
+		n.Reset(stats)
+	}
+	return s.eng, n
+}

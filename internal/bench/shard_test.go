@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestShardReuseBitIdentical pins the sharded runner's contract: repeated
+// Measure calls — the later ones running on recycled engine/net shards —
+// return bit-identical timings and counters, sequentially and under a
+// parallel sweep. The cache is kept off so every cell truly simulates.
+func TestShardReuseBitIdentical(t *testing.T) {
+	DisableCache()
+	cfg := Config{
+		Machine: topology.IG(),
+		Comp:    KNEMColl(),
+		Op:      OpBcast,
+		Size:    256 * KiB,
+		Iters:   1,
+	}
+	want := MustMeasure(cfg)
+	for i := 0; i < 3; i++ {
+		got := MustMeasure(cfg)
+		if got.Seconds != want.Seconds {
+			t.Fatalf("rerun %d: %.17g s, first run %.17g s", i, got.Seconds, want.Seconds)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Fatalf("rerun %d: stats diverged:\ngot   %v\nfirst %v", i, got.Stats.String(), want.Stats.String())
+		}
+	}
+
+	// A parallel sweep mixing machines must agree cell-for-cell with the
+	// sequential run (shards are per-worker, never shared between live
+	// cells, and reused across machines within a worker).
+	cfgs := []Config{
+		cfg,
+		{Machine: topology.Dancer(), Comp: TunedSM(), Op: OpAllgather, Size: 64 * KiB, Iters: 1},
+		{Machine: topology.IG(), Comp: MPICH2KNEM(), Op: OpScatter, Size: 128 * KiB, Iters: 1},
+		cfg,
+	}
+	seq := MeasureAll(cfgs)
+	old := Parallel()
+	SetParallel(4)
+	par := MeasureAll(cfgs)
+	SetParallel(old)
+	for i := range seq {
+		if seq[i].Seconds != par[i].Seconds || !reflect.DeepEqual(seq[i].Stats, par[i].Stats) {
+			t.Fatalf("cell %d: parallel run diverged from sequential: %.17g vs %.17g",
+				i, par[i].Seconds, seq[i].Seconds)
+		}
+	}
+	if seq[0].Seconds != want.Seconds {
+		t.Fatalf("sweep cell 0 %.17g s != direct measure %.17g s", seq[0].Seconds, want.Seconds)
+	}
+}

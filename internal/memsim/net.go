@@ -30,6 +30,19 @@ type Net struct {
 	// allocates no closure.
 	onCompletionFn func()
 
+	// Burst-batched repricing: flow adds and removals landing at one
+	// simulated instant coalesce into a single end-of-instant rate solve
+	// (engine Defer hook) instead of one water-filling per event.
+	// repriceFn is the flush callback, built once; repricePending marks
+	// that it is registered for the current instant; needSolve records
+	// whether the burst requires a full recompute (any non-disjoint
+	// change) or just the completion event rescheduled. rateSolves counts
+	// water-filling runs (test instrumentation for the batching).
+	repriceFn      func()
+	repricePending bool
+	needSolve      bool
+	rateSolves     int64
+
 	// linkWeight[i] is the total multiplicity of the active flows crossing
 	// link i, maintained incrementally on every add/remove. It lets the
 	// solver skip the full water-filling when a flow joins or leaves
@@ -60,6 +73,10 @@ type Net struct {
 	// mutated.
 	routeDom   [][][]*topology.Link
 	routeGroup [][][]*topology.Link
+
+	// linkNames is the dense link-name table handed to every stats sink
+	// (SetLinkNames), built once in New and reused by Reset.
+	linkNames []string
 }
 
 // linkUse is one link crossed by a flow; mult > 1 when the flow crosses the
@@ -117,6 +134,7 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	for i, l := range m.Links {
 		names[i] = l.Name
 	}
+	n.linkNames = names
 	stats.SetLinkNames(names)
 	for _, g := range m.Groups {
 		n.caches = append(n.caches, newGroupCache(g, n.entryPool))
@@ -152,7 +170,49 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	n.useMark = make([]int64, nl)
 	n.useMult = make([]float64, nl)
 	n.onCompletionFn = n.onCompletion
+	n.repriceFn = n.flushReprice
 	return n
+}
+
+// Reset returns the memory system to its initial state — no flows, cold
+// caches, buffer and flow numbering restarted, full link bandwidth, no
+// timeline, a new stats sink — while keeping everything New computed or
+// the last run warmed: the interned routes, the solver scratch, and the
+// flow / pending / cache-entry pools. The engine binding is permanent;
+// callers must Reset (or freshly construct) that engine too, which drops
+// any still-pending completion event. A reset Net on a reset Engine is
+// observably identical to memsim.New on a fresh engine — same timestamps,
+// same rates, bit-identical runs — but simulates with far fewer
+// allocations, which is what the sharded sweep runner in internal/bench
+// reuses between cells. stats may be nil.
+func (n *Net) Reset(stats *trace.Stats) {
+	if stats == nil {
+		stats = &trace.Stats{}
+	}
+	n.stats = stats
+	stats.SetLinkNames(n.linkNames)
+	n.tl = nil
+	n.bwScale = nil
+	for _, c := range n.caches {
+		c.flush()
+	}
+	// A completed run leaves no flows; recycle defensively after an
+	// aborted one.
+	for i, f := range n.flows {
+		n.freeFlow(f)
+		n.flows[i] = nil
+	}
+	n.flows = n.flows[:0]
+	n.lastUpdate = 0
+	n.completion = nil
+	n.nextBuf, n.flowSeq = 0, 0
+	n.repricePending, n.needSolve = false, false
+	n.rateSolves = 0
+	for i := range n.linkWeight {
+		n.linkWeight[i] = 0
+	}
+	// useEpoch stays monotone: useMark entries still carry old stamps, and
+	// a rewound epoch could collide with them.
 }
 
 // Machine returns the underlying hardware model.
@@ -443,10 +503,118 @@ func (n *Net) addFlow(f *flow) {
 			}
 		}
 		f.rate = rate
-		n.scheduleNext()
+		n.requestReprice(false)
 		return
 	}
-	n.reschedule()
+	n.requestReprice(true)
+}
+
+// requestReprice is called on every flow change. Under a running engine
+// the expensive water-filling is burst-batched: the change only marks
+// needSolve, reschedules a provisional completion event (mirroring the
+// historical per-change cancel/schedule churn so the event's sequence
+// stream stays bit-identical), and defers flushReprice to the end of the
+// instant, where the whole burst costs one solve and the provisional
+// target is corrected in place with Engine.Retime — preserving the
+// completion event's same-instant tie-break position exactly. The stale
+// mid-burst rates are safe: no simulated time passes within an instant
+// (advance sees dt = 0), and the final solve depends only on the final
+// flow set — the same rates, bit for bit, that the solve-per-event code
+// converged to (the disjoint fast path is exact, see
+// TestDisjointFastPathExact). Outside Run (tests and tools driving the
+// Net directly) the change is priced synchronously, the historical
+// behaviour.
+func (n *Net) requestReprice(solve bool) {
+	if !n.eng.Running() {
+		if solve {
+			n.reschedule()
+		} else {
+			n.scheduleNext()
+		}
+		return
+	}
+	if solve {
+		n.needSolve = true
+	}
+	n.scheduleProvisional()
+	if !n.repricePending {
+		n.repricePending = true
+		n.eng.Defer(n.repriceFn)
+	}
+}
+
+// provisionalFar is the placeholder delay used when no flow has been
+// priced yet mid-burst. Any strictly positive value works: the deferred
+// flushReprice retimes the event before the instant ends, so this delay
+// can never become a simulated timestamp. It must NOT be zero — a
+// zero-delay completion fires at the current instant, before the flush
+// had a chance to price the burst, and onCompletion would reschedule it
+// at zero forever (a same-instant livelock starving the flush).
+const provisionalFar = 1.0
+
+// scheduleProvisional mirrors scheduleNext's cancel/schedule pair but
+// tolerates flows the deferred solve has not priced yet (rate 0): their
+// completion target is unknown mid-burst, so the event's time is only
+// provisional. flushReprice retimes it once the final rates stand.
+func (n *Net) scheduleProvisional() {
+	if n.completion != nil {
+		n.completion.Cancel()
+		n.completion = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		// Every flow is still unpriced (e.g. the only rated flow just
+		// finished at this instant while a new burst is pending): park
+		// the event strictly in the future and let the flush settle it.
+		next = provisionalFar
+	} else if next < 0 {
+		next = 0
+	}
+	n.completion = n.eng.ScheduleOwned(next, n.onCompletionFn)
+}
+
+// flushReprice ends the instant's burst: one water-filling over the final
+// flow set (if any change needed it), then the completion event's
+// provisional target is corrected in place. Retime preserves the event's
+// sequence number, so ties against other events at the same future
+// instant resolve exactly as they always did.
+func (n *Net) flushReprice() {
+	n.repricePending = false
+	if n.needSolve {
+		n.needSolve = false
+		if len(n.flows) > 0 {
+			n.recomputeRates()
+		}
+	}
+	if n.completion == nil {
+		return
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			panic("memsim: flow with zero rate")
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	if next < 0 {
+		next = 0
+	}
+	if t := n.eng.Now() + next; t != n.completion.Time() {
+		n.eng.Retime(n.completion, t)
+	}
 }
 
 // advance depletes every flow by the bandwidth it enjoyed since the last
@@ -549,11 +717,7 @@ func (n *Net) onCompletion() {
 		finished[i] = nil
 	}
 	n.finished = finished[:0]
-	if disjoint {
-		n.scheduleNext()
-		return
-	}
-	n.reschedule()
+	n.requestReprice(!disjoint)
 }
 
 // recomputeRates runs progressive filling (water-filling) with per-link
@@ -561,6 +725,7 @@ func (n *Net) onCompletion() {
 // saturates, fix the flows crossing it, repeat. All working state lives in
 // persistent scratch arrays on Net, so the solver allocates nothing.
 func (n *Net) recomputeRates() {
+	n.rateSolves++
 	nl := len(n.mach.Links)
 	fixedLoad, weight, saturated := n.wfFixed, n.wfWeight, n.wfSat
 	for i := 0; i < nl; i++ {

@@ -1,0 +1,70 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// driveResetSchedule runs a fixed randomized copy schedule — contending
+// and disjoint flows, cache reuse across copies, staggered starts — and
+// returns every completion time (exact bits) plus the final stats.
+func driveResetSchedule(e *sim.Engine, n *Net, m *topology.Machine) ([]uint64, trace.Stats) {
+	rng := rand.New(rand.NewSource(99))
+	var ends []uint64
+	for c := 0; c < 24; c++ {
+		core := m.Cores[rng.Intn(m.NCores())]
+		src := n.Alloc(m.Domains[rng.Intn(len(m.Domains))], 2*MB, false)
+		dst := n.Alloc(m.Domains[rng.Intn(len(m.Domains))], 2*MB, false)
+		size := int64(1 + rng.Intn(MB))
+		at := rng.Float64() * 1e-4
+		e.Schedule(at, func() {
+			e.Spawn("copier", func(p *sim.Proc) {
+				n.Copy(p, core, dst.View(0, size), src.View(0, size))
+				ends = append(ends, math.Float64bits(p.Now()))
+			})
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return ends, n.Stats().Snapshot()
+}
+
+// TestNetResetBitIdentical pins the reuse contract behind the sharded
+// sweep runner: a Reset engine/net pair replays a schedule with exactly
+// the completion times and counters of freshly constructed ones.
+func TestNetResetBitIdentical(t *testing.T) {
+	m := topology.Saturn()
+	fe, fn := setup(m)
+	wantEnds, wantStats := driveResetSchedule(fe, fn, m)
+
+	e, n := setup(m)
+	driveResetSchedule(e, n, m) // dirty both
+	for round := 0; round < 3; round++ {
+		e.Reset()
+		n.Reset(nil)
+		if n.Busy() != 0 || n.nextBuf != 0 || n.flowSeq != 0 {
+			t.Fatalf("round %d: reset net not clean: busy=%d nextBuf=%d flowSeq=%d",
+				round, n.Busy(), n.nextBuf, n.flowSeq)
+		}
+		gotEnds, gotStats := driveResetSchedule(e, n, m)
+		if len(gotEnds) != len(wantEnds) {
+			t.Fatalf("round %d: %d completions, fresh %d", round, len(gotEnds), len(wantEnds))
+		}
+		for i := range gotEnds {
+			if gotEnds[i] != wantEnds[i] {
+				t.Fatalf("round %d: completion %d time bits %016x, fresh %016x",
+					round, i, gotEnds[i], wantEnds[i])
+			}
+		}
+		if !reflect.DeepEqual(gotStats, wantStats) {
+			t.Fatalf("round %d: stats diverged:\ngot   %v\nfresh %v", round, gotStats.String(), wantStats.String())
+		}
+	}
+}

@@ -102,7 +102,10 @@ func checkAgainstReference(t *testing.T, n *Net, where string) {
 // TestSolverMatchesBruteForce drives random copy schedules — random cores,
 // domains, sizes, and start times, so adds and completions interleave and
 // both the incremental fast paths and the full recompute trigger — and
-// checks the production rates against the reference solver at every add.
+// checks the production rates against the reference solver after every
+// add. Rates settle at the end of the instant (reprices are burst-batched
+// through the engine's Defer hook), so the check is deferred to run right
+// after the Net's own flush.
 func TestSolverMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	machines := []*topology.Machine{topology.Dancer(), topology.Saturn(), topology.IG()}
@@ -118,8 +121,10 @@ func TestSolverMatchesBruteForce(t *testing.T) {
 			at := rng.Float64() * 1e-3
 			e.Schedule(at, func() {
 				n.CopyAsync(core, dst.View(0, size), src.View(0, size))
-				checkAgainstReference(t, n, "after add")
-				checks++
+				e.Defer(func() {
+					checkAgainstReference(t, n, "after add")
+					checks++
+				})
 			})
 		}
 		if err := e.Run(); err != nil {
@@ -131,6 +136,43 @@ func TestSolverMatchesBruteForce(t *testing.T) {
 		if n.Busy() != 0 {
 			t.Fatalf("trial %d: %d flows leaked", trial, n.Busy())
 		}
+	}
+}
+
+// TestBurstRepriceCoalesced pins the batching: a burst of k contending
+// copies starting at one instant costs exactly one water-filling solve,
+// and the rates standing at the end of the instant match the brute-force
+// reference over the final flow set.
+func TestBurstRepriceCoalesced(t *testing.T) {
+	m := topology.Saturn()
+	e, n := setup(m)
+	const k = 12
+	var views [k]struct{ dst, src View }
+	for i := 0; i < k; i++ {
+		src := n.Alloc(m.Domains[i%2], MB, false)
+		dst := n.Alloc(m.Domains[(i+1)%2], MB, false)
+		views[i].dst, views[i].src = dst.Whole(), src.Whole()
+	}
+	e.Schedule(1e-6, func() {
+		before := n.rateSolves
+		for i := 0; i < k; i++ {
+			n.CopyAsync(m.Cores[i], views[i].dst, views[i].src)
+		}
+		if got := n.rateSolves - before; got != 0 {
+			t.Errorf("burst of %d adds solved %d times mid-instant, want 0 (deferred)", k, got)
+		}
+		e.Defer(func() {
+			if got := n.rateSolves - before; got != 1 {
+				t.Errorf("burst of %d adds cost %d solves, want 1", k, got)
+			}
+			checkAgainstReference(t, n, "after burst")
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Busy() != 0 {
+		t.Fatalf("%d flows leaked", n.Busy())
 	}
 }
 
@@ -175,4 +217,55 @@ func TestDisjointFastPathExact(t *testing.T) {
 		}
 	}
 	_ = e
+}
+
+// TestCompletionWithUnpricedSurvivor pins the regression where a copy is
+// added at the exact instant the only rated flow completes. The add fires
+// first (earlier seq), zeroes the finishing flow's remaining via advance,
+// and reschedules the completion at the current instant; the completion
+// then fires before the end-of-instant flush has priced the newcomer. At
+// that point every surviving flow still has rate 0, and the provisional
+// completion target must land strictly in the future — scheduling it at
+// the current instant loops onCompletion/scheduleProvisional forever and
+// starves the flush that would assign the rate.
+func TestCompletionWithUnpricedSurvivor(t *testing.T) {
+	m := topology.Dancer()
+	d := m.Domains[0]
+
+	// Pass 1: one copy alone, to learn its exact completion instant.
+	e1, n1 := setup(m)
+	src1 := n1.Alloc(d, MB, false)
+	dst1 := n1.Alloc(d, MB, false)
+	e1.Schedule(1e-6, func() {
+		n1.CopyAsync(d.Cores[0], dst1.Whole(), src1.Whole())
+	})
+	if err := e1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	done := e1.Now()
+
+	// Pass 2: same copy, plus a contending copy starting at exactly the
+	// completion instant. The watchdog turns the historical same-instant
+	// livelock into a test failure instead of a hang.
+	e2, n2 := setup(m)
+	e2.SetMaxEvents(10_000)
+	src2 := n2.Alloc(d, MB, false)
+	dst2 := n2.Alloc(d, MB, false)
+	src3 := n2.Alloc(d, MB, false)
+	dst3 := n2.Alloc(d, MB, false)
+	e2.Schedule(1e-6, func() {
+		n2.CopyAsync(d.Cores[0], dst2.Whole(), src2.Whole())
+	})
+	e2.Schedule(done, func() {
+		n2.CopyAsync(d.Cores[1], dst3.Whole(), src3.Whole())
+		e2.Defer(func() {
+			checkAgainstReference(t, n2, "after same-instant add")
+		})
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatalf("same-instant add livelocked: %v", err)
+	}
+	if n2.Busy() != 0 {
+		t.Fatalf("%d flows leaked", n2.Busy())
+	}
 }

@@ -113,6 +113,16 @@ type Options struct {
 	// explicitly configured ones (fixed segments, forced modes) keep
 	// their settings. Nil leaves every hardcoded switch point in force.
 	Decider *tune.Decider
+	// Engine and Net, when non-nil, run the world on an existing simulation
+	// engine and the memory system built on it for Machine instead of
+	// constructing fresh ones. Both must be set together, freshly
+	// constructed or Reset — the sharded sweep runner in internal/bench
+	// recycles a warmed engine/net pair per worker this way, so repeated
+	// cells reuse event slabs, coroutine objects, and cache-entry pools. A
+	// provided Net's stats sink stands as installed by memsim.New/Reset;
+	// the Stats field is ignored in that case.
+	Engine *sim.Engine
+	Net    *memsim.Net
 }
 
 // World is one MPI job on one machine.
@@ -154,8 +164,16 @@ func NewWorld(opts Options) (*World, error) {
 	if len(opts.Mapping) != opts.NP {
 		return nil, fmt.Errorf("mpi: mapping length %d != NP %d", len(opts.Mapping), opts.NP)
 	}
-	eng := sim.NewEngine()
-	net := memsim.New(eng, opts.Machine, opts.Stats)
+	if (opts.Engine == nil) != (opts.Net == nil) {
+		return nil, fmt.Errorf("mpi: Engine and Net must be provided together")
+	}
+	eng, net := opts.Engine, opts.Net
+	if eng == nil {
+		eng = sim.NewEngine()
+		net = memsim.New(eng, opts.Machine, opts.Stats)
+	} else if net.Engine() != eng || net.Machine() != opts.Machine {
+		return nil, fmt.Errorf("mpi: provided Net is not built on the provided Engine and Machine")
+	}
 	if opts.Timeline != nil {
 		net.SetTimeline(opts.Timeline)
 	}

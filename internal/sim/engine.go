@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,31 +27,32 @@ type Time = float64
 // latter lets hot paths schedule a persistent function with per-event state
 // without allocating a closure.
 type Event struct {
-	eng     *Engine
-	t       Time
-	seq     int64
-	fn      func()
-	argFn   func(any)
-	arg     any
-	dead    bool
-	pooled  bool
-	heapIdx int
+	eng    *Engine
+	t      Time
+	seq    int64
+	fn     func()
+	argFn  func(any)
+	arg    any
+	dead   bool
+	pooled bool
+	where  int32 // queue tier (qNone/qNear/qBucket/qOver)
+	bkt    int32 // bucket index when where == qBucket
+	slot   int32 // index within the tier's slice
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. The event is removed from the queue
 // immediately, so heavy schedule/cancel churn (the memory simulator
 // rescheduling its completion event on every flow change) does not grow
-// the heap with dead entries.
+// the queue with dead entries.
 func (ev *Event) Cancel() {
 	if ev.dead {
 		return
 	}
 	ev.dead = true
 	ev.fn, ev.argFn, ev.arg = nil, nil, nil
-	if ev.heapIdx >= 0 {
-		heap.Remove(&ev.eng.events, ev.heapIdx)
-		ev.heapIdx = -1
+	if ev.where != qNone {
+		ev.eng.q.remove(ev)
 		if ev.pooled {
 			ev.eng.recycle(ev)
 		}
@@ -62,41 +62,41 @@ func (ev *Event) Cancel() {
 // Time returns the instant the event is scheduled for.
 func (ev *Event) Time() Time { return ev.t }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// Retime moves a still-pending event to absolute time t (>= Now())
+// without consuming a new sequence number: at its new instant the event
+// keeps the tie-break position of its original schedule call. This is
+// the primitive behind end-of-instant flushes that must correct an
+// event's provisional target — the memory simulator's burst-batched
+// repricing retimes its completion event this way, so runs stay
+// bit-identical to the historical solve-per-event schedule. Retiming a
+// fired or cancelled event panics.
+func (e *Engine) Retime(ev *Event, t Time) {
+	if ev.dead || ev.where == qNone {
+		panic("sim: Retime of a fired or cancelled event")
 	}
-	return h[i].seq < h[j].seq
+	if t < e.now {
+		panic(fmt.Sprintf("sim: Retime to %g before now %g", t, e.now))
+	}
+	if t == ev.t {
+		return
+	}
+	e.q.remove(ev)
+	ev.t = t
+	e.q.push(ev)
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.heapIdx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	ev.heapIdx = -1
-	return ev
-}
+
+// slabSize is the number of Events carved from one backing array. Schedule
+// hands out never-reused handles, so its events cannot come from the free
+// list; carving them from a chunked slab instead of one make per call
+// amortises the allocation to 1/slabSize per event.
+const slabSize = 512
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    int64
+	now Time
+	q   calQueue
+	seq int64
 
 	procs   []*Proc
 	live    int // spawned processes that have not finished
@@ -104,7 +104,13 @@ type Engine struct {
 	running bool
 	stopped bool
 
-	free []*Event // pool for owned events (ScheduleOwned)
+	free     []*Event // pool for owned events (ScheduleOwned)
+	slab     []Event  // current slab chunk for newly carved events
+	slabUsed int
+
+	procPool []*Proc // finished processes parked by Reset for respawning
+
+	deferred []func() // end-of-instant callbacks (Defer), FIFO
 
 	fired     int64
 	maxEvents int64
@@ -169,20 +175,39 @@ func (e *Engine) at(t Time, fn func(), pooled bool) *Event {
 		e.free[len(e.free)-1] = nil
 		e.free = e.free[:len(e.free)-1]
 	} else {
-		ev = &Event{}
+		if e.slabUsed == len(e.slab) {
+			e.slab = make([]Event, slabSize)
+			e.slabUsed = 0
+		}
+		ev = &e.slab[e.slabUsed]
+		e.slabUsed++
 	}
 	e.seq++
 	ev.eng, ev.t, ev.seq, ev.fn, ev.dead, ev.pooled = e, t, e.seq, fn, false, pooled
-	heap.Push(&e.events, ev)
+	e.q.push(ev)
 	return ev
 }
 
 // recycle returns a pooled event to the free list once no live handle may
-// touch it (fired, or cancelled and removed from the heap).
+// touch it (fired, or cancelled and removed from the queue).
 func (e *Engine) recycle(ev *Event) {
 	ev.fn, ev.argFn, ev.arg = nil, nil, nil
 	e.free = append(e.free, ev)
 }
+
+// Defer registers fn to run when the current instant completes — after the
+// last event at the current timestamp has fired and before simulated time
+// advances (or the queue drains). Deferred callbacks run in registration
+// order; a callback may schedule events and defer further work for the
+// same instant. Hot paths register one persistent closure per instant and
+// coalesce their work in it (the memory simulator batches a burst of flow
+// changes into a single rate solve this way).
+func (e *Engine) Defer(fn func()) {
+	e.deferred = append(e.deferred, fn)
+}
+
+// Running reports whether the engine is currently executing Run.
+func (e *Engine) Running() bool { return e.running }
 
 // Stop aborts the simulation: Run returns after the current event completes.
 // Parked processes are killed.
@@ -229,11 +254,8 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.dead {
-			continue
-		}
+	for e.q.size > 0 && !e.stopped {
+		ev := e.q.popMin()
 		if ev.t < e.now {
 			panic("sim: time went backwards")
 		}
@@ -253,6 +275,11 @@ func (e *Engine) Run() error {
 		} else {
 			fn()
 		}
+		if len(e.deferred) > 0 {
+			if nxt := e.q.peek(); nxt == nil || nxt.t > e.now {
+				e.flushDeferred()
+			}
+		}
 		if e.maxEvents > 0 && e.fired >= e.maxEvents {
 			e.killParked()
 			return &WatchdogError{Fired: e.fired, At: e.now}
@@ -271,6 +298,50 @@ func (e *Engine) Run() error {
 	}
 	e.killParked()
 	return err
+}
+
+// flushDeferred runs end-of-instant callbacks in FIFO order. Callbacks may
+// defer more work; the loop picks those up within the same flush.
+func (e *Engine) flushDeferred() {
+	for i := 0; i < len(e.deferred); i++ {
+		fn := e.deferred[i]
+		e.deferred[i] = nil
+		fn()
+	}
+	e.deferred = e.deferred[:0]
+}
+
+// Reset returns the engine to its initial state — time zero, empty queue,
+// no processes, seq and fired counters cleared — while keeping its warmed
+// pools: the owned-event free list, the event slab, finished Proc objects,
+// and queue/slice capacities. A reset engine is observably identical to a
+// fresh NewEngine() (same timestamps, same seq numbers, bit-identical
+// runs) but schedules and spawns with far fewer allocations, which is what
+// the sharded sweep runner reuses between cells. All outstanding Event and
+// Proc handles are invalidated; callers must drop them. The SetMaxEvents
+// watchdog budget is configuration and survives Reset.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset while running")
+	}
+	e.q.reset()
+	for i, p := range e.procs {
+		if p.state == procDone {
+			p.name, p.blockReason = "", ""
+			p.fn, p.next, p.stop, p.yield = nil, nil, nil, nil
+			e.procPool = append(e.procPool, p)
+		}
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	e.live = 0
+	e.current = nil
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.stopped = false
+	for i := range e.deferred {
+		e.deferred[i] = nil
+	}
+	e.deferred = e.deferred[:0]
 }
 
 func (e *Engine) killParked() {

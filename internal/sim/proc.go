@@ -29,56 +29,75 @@ type Proc struct {
 	name        string
 	state       procState
 	blockReason string
+	fn          func(p *Proc) // body for the current spawn
 
 	// next resumes the coroutine until it parks or the body returns; stop
 	// resumes it with yield reporting false, which Park converts into a
 	// procKilled unwind. yield suspends the coroutine back into the
-	// engine's next/stop call. All three are built once at Spawn.
+	// engine's next/stop call. next/stop are rebuilt per spawn (the
+	// coroutine itself is single-use); everything below is built once per
+	// Proc object and survives Engine.Reset recycling.
 	next  func() (struct{}, bool)
 	stop  func()
 	yield func(struct{}) bool
 
 	// waitFn and wakeFn are the dispatch callbacks scheduled by Wait and
-	// Wake, built once at Spawn so the hot park/wake path allocates no
-	// closures.
-	waitFn func()
-	wakeFn func()
+	// Wake; startFn is the initial dispatch scheduled by Spawn; bodyFn is
+	// the coroutine body handed to iter.Pull. All are built once so the
+	// hot park/wake path and respawns from the engine's Proc pool
+	// allocate no closures.
+	waitFn  func()
+	wakeFn  func()
+	startFn func()
+	bodyFn  func(yield func(struct{}) bool)
 }
 
 // Spawn starts fn as a new simulated process at the current time. The name
-// appears in deadlock reports.
+// appears in deadlock reports. Proc objects recycled by Engine.Reset are
+// reused, so a reset engine spawns with only the coroutine allocation.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name}
-	p.waitFn = func() { e.dispatch(p) }
-	p.wakeFn = func() {
-		if p.state != procParked {
-			panic("sim: Wake of non-parked process " + p.name)
-		}
-		e.dispatch(p)
-	}
-	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
-		p.yield = yield
-		defer func() {
-			p.state = procDone
-			e.live--
-			if r := recover(); r != nil {
-				if _, ok := r.(procKilled); !ok {
-					// A genuine bug in the process body: propagate to the
-					// engine's Run caller (next/stop re-raise it).
-					panic(r)
-				}
+	var p *Proc
+	if n := len(e.procPool); n > 0 {
+		p = e.procPool[n-1]
+		e.procPool[n-1] = nil
+		e.procPool = e.procPool[:n-1]
+		p.state = procNew
+	} else {
+		p = &Proc{eng: e}
+		p.waitFn = func() { e.dispatch(p) }
+		p.wakeFn = func() {
+			if p.state != procParked {
+				panic("sim: Wake of non-parked process " + p.name)
 			}
-		}()
-		p.state = procRunning
-		fn(p)
-	})
-	e.procs = append(e.procs, p)
-	e.live++
-	e.ScheduleOwned(0, func() {
-		if p.state == procNew {
 			e.dispatch(p)
 		}
-	})
+		p.startFn = func() {
+			if p.state == procNew {
+				e.dispatch(p)
+			}
+		}
+		p.bodyFn = func(yield func(struct{}) bool) {
+			p.yield = yield
+			defer func() {
+				p.state = procDone
+				p.eng.live--
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						// A genuine bug in the process body: propagate to the
+						// engine's Run caller (next/stop re-raise it).
+						panic(r)
+					}
+				}
+			}()
+			p.state = procRunning
+			p.fn(p)
+		}
+	}
+	p.name, p.fn = name, fn
+	p.next, p.stop = iter.Pull(p.bodyFn)
+	e.procs = append(e.procs, p)
+	e.live++
+	e.ScheduleOwned(0, p.startFn)
 	return p
 }
 

@@ -1,0 +1,343 @@
+package sim
+
+import "slices"
+
+// The event queue is a bucketed calendar / ladder queue specialised for
+// discrete-event workloads: a short sorted "near" tier that events fire
+// from, a window of constant-width buckets covering the near future, and
+// an unsorted overflow ladder for everything beyond the window. All three
+// tiers hold concrete *Event values (no interface boxing) and all
+// steady-state operations append into retained slices, so schedule, fire
+// and cancel are allocation-free once capacities warm up.
+//
+// Fire order is exactly the engine's historical (time, seq) order: the
+// near tier is fully sorted, each bucket is sorted by (time, seq) when it
+// is promoted into the near tier, and the overflow ladder is organised
+// into a fresh bucket window when the current window drains. Because seq
+// strictly increases, an insert at time t always sorts after every queued
+// event with the same t, which keeps the sorted-insert path a pure
+// binary search on t.
+//
+// Tier invariants (nearTop is the exclusive upper bound of the near
+// tier's coverage; winEnd is the exclusive upper bound of the bucket
+// window):
+//   - every queued event with t <  nearTop is in near;
+//   - with an active window (cur < numBuckets), every queued event with
+//     nearTop <= t < winEnd is in bucket[i] where t lies in
+//     [lo(i), lo(i+1)); bucket bounds are lo(i) = base + i*width,
+//     evaluated by exactly one function so routing and promotion can
+//     never disagree about a boundary under floating-point rounding;
+//   - everything else is in the overflow ladder.
+//
+// Cancellation removes the event from its tier immediately (swap-pop in
+// a bucket or the ladder, memmove in near), so heavy schedule/cancel
+// churn — the memory simulator rescheduling its completion event on
+// every flow change — does not grow the queue with dead entries and
+// pooled events recycle eagerly, exactly as under the old binary heap.
+
+// Event queue location tags (Event.where).
+const (
+	qNone   int32 = iota // not queued: fired, cancelled, or never scheduled
+	qNear                // near[slot]
+	qBucket              // bucket[bkt][slot]
+	qOver                // over[slot]
+)
+
+const (
+	numBuckets = 256
+	// nearSpill caps the pending near tier while no bucket window is
+	// active: once more events than this are waiting, the far half is
+	// spilled to the overflow ladder (and nearTop lowered) so sorted
+	// inserts stay cheap and the next window rebuild re-organises them.
+	nearSpill = 64
+)
+
+type calQueue struct {
+	near    []*Event // sorted ascending (t, seq); consumed from nearPos
+	nearPos int
+	nearTop Time // exclusive upper bound of near-tier coverage
+
+	bucket [numBuckets][]*Event // unsorted; bucket[cur:] is the live window
+	cur    int                  // next bucket to promote; numBuckets = no window
+	base   Time                 // lower bound of bucket 0
+	width  Time                 // bucket width (> 0 while a window is active)
+	winEnd Time                 // lo(numBuckets): exclusive end of the window
+
+	over []*Event // unsorted overflow ladder: t >= winEnd
+
+	size int
+}
+
+// The zero calQueue is ready to use: nearTop = 0 and winEnd = 0 route the
+// first push to the overflow ladder, and the first pop builds a window.
+
+// lo returns the lower bound of bucket i. Routing, promotion and rebuild
+// all share this one expression so floating-point rounding cannot put an
+// event on the wrong side of a boundary that another code path computed.
+func (q *calQueue) lo(i int) Time { return q.base + Time(i)*q.width }
+
+func (q *calQueue) push(ev *Event) {
+	q.size++
+	t := ev.t
+	if t < q.nearTop {
+		q.nearInsert(ev)
+		return
+	}
+	if q.cur < numBuckets && t < q.winEnd {
+		f := (t - q.base) / q.width
+		var i int
+		switch {
+		case f >= numBuckets || f != f: // range/NaN guard before int conversion
+			i = numBuckets - 1
+		case f > 0:
+			i = int(f)
+		}
+		if i < q.cur {
+			i = q.cur
+		}
+		// float division may land one bucket off its half-open range;
+		// settle against the canonical bounds (at most one step each way).
+		for i > q.cur && t < q.lo(i) {
+			i--
+		}
+		for i < numBuckets-1 && t >= q.lo(i+1) {
+			i++
+		}
+		ev.where, ev.bkt, ev.slot = qBucket, int32(i), int32(len(q.bucket[i]))
+		q.bucket[i] = append(q.bucket[i], ev)
+		return
+	}
+	ev.where, ev.slot = qOver, int32(len(q.over))
+	q.over = append(q.over, ev)
+}
+
+// nearInsert places ev into the sorted near tier by (t, seq). A freshly
+// scheduled event carries the largest seq issued so far, but a retimed
+// event (Engine.Retime) re-enters with its original seq, so the search
+// compares the full key.
+func (q *calQueue) nearInsert(ev *Event) {
+	lo, hi := q.nearPos, len(q.near)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := q.near[mid]
+		if m.t < ev.t || (m.t == ev.t && m.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.near = append(q.near, nil)
+	copy(q.near[lo+1:], q.near[lo:])
+	q.near[lo] = ev
+	ev.where = qNear
+	for i := lo; i < len(q.near); i++ {
+		q.near[i].slot = int32(i)
+	}
+	if q.cur == numBuckets && len(q.near)-q.nearPos > nearSpill {
+		q.spill()
+	}
+}
+
+// spill moves the far half of the pending near tier to the overflow
+// ladder and lowers nearTop to the cut time. Only valid with no active
+// window (everything >= nearTop then belongs to the ladder). Events with
+// t equal to the cut that stay in near carry smaller seqs than any
+// future push at that time, and the ladder is only consulted after near
+// drains, so (t, seq) order is preserved.
+func (q *calQueue) spill() {
+	n := len(q.near)
+	m := q.nearPos + (n-q.nearPos)/2
+	cut := q.near[m].t
+	for i := m; i < n; i++ {
+		ev := q.near[i]
+		ev.where, ev.slot = qOver, int32(len(q.over))
+		q.over = append(q.over, ev)
+		q.near[i] = nil
+	}
+	q.near = q.near[:m]
+	q.nearTop = cut
+}
+
+// peek returns the next event to fire without removing it, organising
+// tiers as needed: it promotes the next non-empty bucket into near, and
+// rebuilds the bucket window from the overflow ladder when the window
+// drains. Returns nil when the queue is empty.
+func (q *calQueue) peek() *Event {
+	for {
+		if q.nearPos < len(q.near) {
+			return q.near[q.nearPos]
+		}
+		if q.nearPos > 0 {
+			q.near, q.nearPos = q.near[:0], 0
+		}
+		if q.cur < numBuckets {
+			b := q.cur
+			for b < numBuckets && len(q.bucket[b]) == 0 {
+				b++
+			}
+			if b == numBuckets {
+				q.cur = numBuckets
+				q.nearTop = q.winEnd
+				continue
+			}
+			q.promote(b)
+			continue
+		}
+		if len(q.over) > 0 {
+			q.rebuild()
+			continue
+		}
+		return nil
+	}
+}
+
+func (q *calQueue) popMin() *Event {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	q.near[q.nearPos] = nil
+	q.nearPos++
+	if q.nearPos == len(q.near) {
+		q.near, q.nearPos = q.near[:0], 0
+	}
+	ev.where = qNone
+	q.size--
+	return ev
+}
+
+// promote sorts bucket b by (t, seq) and makes it the near tier.
+func (q *calQueue) promote(b int) {
+	evs := q.bucket[b]
+	slices.SortFunc(evs, func(x, y *Event) int {
+		if x.t != y.t {
+			if x.t < y.t {
+				return -1
+			}
+			return 1
+		}
+		if x.seq < y.seq {
+			return -1
+		}
+		return 1
+	})
+	q.near = append(q.near[:0], evs...)
+	for i, ev := range q.near {
+		ev.where, ev.slot = qNear, int32(i)
+		evs[i] = nil
+	}
+	q.bucket[b] = evs[:0]
+	q.nearPos = 0
+	q.nearTop = q.lo(b + 1)
+	q.cur = b + 1
+}
+
+// rebuild opens a fresh bucket window over the overflow ladder. Width
+// adapts to the ladder's population (target ~4 events per bucket) but is
+// floored so each window covers a meaningful slice of the remaining span
+// and scanning the ladder stays amortised. Events beyond the new window
+// stay in the ladder for a later rebuild.
+func (q *calQueue) rebuild() {
+	tmin, tmax := q.over[0].t, q.over[0].t
+	for _, ev := range q.over[1:] {
+		if ev.t < tmin {
+			tmin = ev.t
+		}
+		if ev.t > tmax {
+			tmax = ev.t
+		}
+	}
+	span := tmax - tmin
+	width := span * 4 / Time(len(q.over))
+	if minw := span / 2048; width < minw {
+		width = minw
+	}
+	if !(width > 0) {
+		width = 1
+	}
+	q.base = tmin
+	// Guard against widths that vanish under the magnitude of base: the
+	// window must make progress past its own origin.
+	for q.base+Time(numBuckets)*width <= q.base {
+		width *= 2
+	}
+	q.width = width
+	q.cur = 0
+	q.winEnd = q.lo(numBuckets)
+	q.nearTop = q.base
+	keep := q.over[:0]
+	for _, ev := range q.over {
+		if ev.t < q.winEnd {
+			q.size-- // push re-counts it
+			q.push(ev)
+			continue
+		}
+		ev.slot = int32(len(keep))
+		keep = append(keep, ev)
+	}
+	for i := len(keep); i < len(q.over); i++ {
+		q.over[i] = nil
+	}
+	q.over = keep
+}
+
+// remove unlinks a queued event from its tier (cancellation).
+func (q *calQueue) remove(ev *Event) {
+	switch ev.where {
+	case qNear:
+		i := int(ev.slot)
+		last := len(q.near) - 1
+		copy(q.near[i:], q.near[i+1:])
+		q.near[last] = nil
+		q.near = q.near[:last]
+		for j := i; j < last; j++ {
+			q.near[j].slot = int32(j)
+		}
+		if q.nearPos == len(q.near) {
+			q.near, q.nearPos = q.near[:0], 0
+		}
+	case qBucket:
+		b := q.bucket[ev.bkt]
+		i, last := int(ev.slot), len(b)-1
+		b[i] = b[last]
+		b[i].slot = int32(i)
+		b[last] = nil
+		q.bucket[ev.bkt] = b[:last]
+	case qOver:
+		i, last := int(ev.slot), len(q.over)-1
+		q.over[i] = q.over[last]
+		q.over[i].slot = int32(i)
+		q.over[last] = nil
+		q.over = q.over[:last]
+	default:
+		return
+	}
+	ev.where = qNone
+	q.size--
+}
+
+// reset empties the queue back to its zero state, keeping slice
+// capacities warm for reuse. Any still-queued events are dropped.
+func (q *calQueue) reset() {
+	for i := range q.near {
+		if ev := q.near[i]; ev != nil {
+			ev.where = qNone
+		}
+		q.near[i] = nil
+	}
+	q.near, q.nearPos, q.nearTop = q.near[:0], 0, 0
+	for b := range q.bucket {
+		for i, ev := range q.bucket[b] {
+			ev.where = qNone
+			q.bucket[b][i] = nil
+		}
+		q.bucket[b] = q.bucket[b][:0]
+	}
+	q.cur, q.base, q.width, q.winEnd = 0, 0, 0, 0
+	for i, ev := range q.over {
+		ev.where = qNone
+		q.over[i] = nil
+	}
+	q.over = q.over[:0]
+	q.size = 0
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file differentially tests the calendar/ladder event queue against
+// the binary heap it replaced: the same randomized schedule — duplicate
+// timestamps, immediate and far-future events, cancels, owned (pooled)
+// events — runs through a real Engine and through a retained
+// container/heap reference, and the fire orders must match exactly,
+// timestamp bits and all. FuzzEventQueue drives the same machinery from
+// a fuzzer-controlled decision stream.
+
+// decSrc supplies small bounded decisions. The property test draws them
+// from a seeded PRNG, the fuzz target from the input bytes. Both the real
+// and the reference run consume an identical stream in fire order, so as
+// long as the orders agree the decisions stay in lockstep; the first
+// divergence shows up in the fire logs.
+type decSrc interface {
+	next(n int) int
+}
+
+type rngSrc struct{ r *rand.Rand }
+
+func (s rngSrc) next(n int) int { return s.r.Intn(n) }
+
+type byteSrc struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteSrc) next(n int) int {
+	if n <= 1 || s.pos >= len(s.data) {
+		return 0
+	}
+	v := int(s.data[s.pos])
+	s.pos++
+	return v % n
+}
+
+// scheduleDeltas deliberately repeats values so distinct events collide
+// on the same timestamp (seq tie-break), and spans from same-instant to
+// far-future (overflow-ladder) delays.
+var scheduleDeltas = []Time{0, 0, 1e-9, 1e-9, 2.5e-9, 4e-8, 1e-6, 1e-6, 3e-4, 1.0, 1e3}
+
+type fireRec struct {
+	t  Time
+	id int
+}
+
+// --- reference implementation: the engine's former container/heap queue ---
+
+type refEvent struct {
+	t    Time
+	seq  int64
+	id   int
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// script holds the shared bookkeeping both runs maintain identically:
+// live handle ids in insertion order (cancel picks by index) and the
+// schedule budget that bounds the run.
+type script struct {
+	src    decSrc
+	budget int
+	nextID int
+	hids   []int
+}
+
+func (s *script) dropID(id int) {
+	for i, v := range s.hids {
+		if v == id {
+			s.hids = append(s.hids[:i], s.hids[i+1:]...)
+			return
+		}
+	}
+}
+
+// decide is called once per fired event (and once at setup with setup =
+// true): it returns how many events to schedule, their kinds and deltas,
+// and which live handle (if any) to cancel. Both runs call it with
+// identical state, so the returned choices match.
+type choice struct {
+	kind  int // 0 Schedule, 1 ScheduleOwned, 2 ScheduleOwnedArg
+	delta Time
+	id    int
+}
+
+func (s *script) decide(setup bool) (sched []choice, cancelID int) {
+	cancelID = -1
+	n := s.src.next(4) // 0..3 new events
+	if setup {
+		n = 12
+	}
+	for i := 0; i < n && s.budget > 0; i++ {
+		s.budget--
+		c := choice{
+			kind:  s.src.next(3),
+			delta: scheduleDeltas[s.src.next(len(scheduleDeltas))],
+			id:    s.nextID,
+		}
+		s.nextID++
+		s.hids = append(s.hids, c.id)
+		sched = append(sched, c)
+	}
+	if len(s.hids) > 0 && s.src.next(4) == 0 {
+		cancelID = s.hids[s.src.next(len(s.hids))]
+	}
+	return sched, cancelID
+}
+
+// runReal executes the script on a real Engine (calendar queue).
+func runReal(src decSrc, budget int) []fireRec {
+	e := NewEngine()
+	s := &script{src: src, budget: budget}
+	handles := map[int]*Event{}
+	var log []fireRec
+	var act func(id int)
+	schedule := func(c choice) {
+		id := c.id
+		switch c.kind {
+		case 0:
+			handles[id] = e.Schedule(c.delta, func() { act(id) })
+		case 1:
+			handles[id] = e.ScheduleOwned(c.delta, func() { act(id) })
+		default:
+			handles[id] = e.ScheduleOwnedArg(c.delta, func(arg any) { act(arg.(int)) }, id)
+		}
+	}
+	act = func(id int) {
+		log = append(log, fireRec{e.Now(), id})
+		s.dropID(id)
+		delete(handles, id)
+		sched, cancelID := s.decide(false)
+		for _, c := range sched {
+			schedule(c)
+		}
+		if cancelID >= 0 {
+			handles[cancelID].Cancel()
+			delete(handles, cancelID)
+			s.dropID(cancelID)
+		}
+	}
+	sched, cancelID := s.decide(true)
+	for _, c := range sched {
+		schedule(c)
+	}
+	if cancelID >= 0 {
+		handles[cancelID].Cancel()
+		delete(handles, cancelID)
+		s.dropID(cancelID)
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return log
+}
+
+// runRef executes the same script on the retained binary-heap reference.
+func runRef(src decSrc, budget int) []fireRec {
+	s := &script{src: src, budget: budget}
+	var (
+		now Time
+		seq int64
+		h   refHeap
+	)
+	events := map[int]*refEvent{}
+	var log []fireRec
+	schedule := func(c choice) {
+		seq++
+		ev := &refEvent{t: now + c.delta, seq: seq, id: c.id}
+		events[c.id] = ev
+		heap.Push(&h, ev)
+	}
+	doCancel := func(id int) {
+		events[id].dead = true
+		delete(events, id)
+		s.dropID(id)
+	}
+	sched, cancelID := s.decide(true)
+	for _, c := range sched {
+		schedule(c)
+	}
+	if cancelID >= 0 {
+		doCancel(cancelID)
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(*refEvent)
+		if ev.dead {
+			continue
+		}
+		now = ev.t
+		log = append(log, fireRec{now, ev.id})
+		s.dropID(ev.id)
+		delete(events, ev.id)
+		sched, cancelID := s.decide(false)
+		for _, c := range sched {
+			schedule(c)
+		}
+		if cancelID >= 0 {
+			doCancel(cancelID)
+		}
+	}
+	return log
+}
+
+func diffLogs(t *testing.T, real, ref []fireRec) {
+	t.Helper()
+	if len(real) != len(ref) {
+		t.Fatalf("fire count: calendar queue %d, heap reference %d", len(real), len(ref))
+	}
+	for i := range real {
+		if real[i] != ref[i] {
+			t.Fatalf("fire %d: calendar queue (t=%.12g id=%d), heap reference (t=%.12g id=%d)",
+				i, real[i].t, real[i].id, ref[i].t, ref[i].id)
+		}
+	}
+}
+
+// TestQueueMatchesHeapReference is the differential property test: many
+// seeds, a few thousand events each, identical fire order required.
+func TestQueueMatchesHeapReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		real := runReal(rngSrc{rand.New(rand.NewSource(seed))}, 3000)
+		ref := runRef(rngSrc{rand.New(rand.NewSource(seed))}, 3000)
+		if len(real) == 0 {
+			t.Fatalf("seed %d: empty run", seed)
+		}
+		diffLogs(t, real, ref)
+	}
+}
+
+// FuzzEventQueue lets the fuzzer steer the schedule/cancel decisions.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 128, 40, 7})
+	f.Add([]byte("calendar-queue-vs-binary-heap"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		real := runReal(&byteSrc{data: data}, 600)
+		ref := runRef(&byteSrc{data: data}, 600)
+		diffLogs(t, real, ref)
+	})
+}

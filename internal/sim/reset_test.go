@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// driveResetWorkload runs a fixed mixed workload — plain and owned events,
+// cancellations, spawned processes that sleep and park/wake — and returns
+// the exact fire log (time bits and label per firing) plus the final time.
+func driveResetWorkload(e *Engine) ([]string, Time) {
+	var log []string
+	rec := func(tag string) {
+		log = append(log, fmt.Sprintf("%s@%016x", tag, math.Float64bits(e.Now())))
+	}
+	for i := 0; i < 20; i++ {
+		i := i
+		d := Time(i%7) * 1.25e-9
+		e.Schedule(d, func() { rec(fmt.Sprintf("ev%d", i)) })
+	}
+	doomed := e.Schedule(3e-9, func() { rec("never") })
+	doomed.Cancel()
+	var woken *Proc
+	woken = e.Spawn("sleeper", func(p *Proc) {
+		p.Wait(2e-9)
+		rec("slept")
+		p.Park("reset test")
+		rec("woken")
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Wait(5e-9)
+		rec("waking")
+		woken.Wake()
+	})
+	e.Schedule(4e-9, func() {
+		e.ScheduleOwned(1e-9, func() { rec("owned") })
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return log, e.Now()
+}
+
+// TestResetBitIdentical pins the Reset contract the sharded sweep runner
+// relies on: a reset engine replays a workload with exactly the fire
+// order, timestamps, and final clock of a fresh engine.
+func TestResetBitIdentical(t *testing.T) {
+	fresh := NewEngine()
+	wantLog, wantEnd := driveResetWorkload(fresh)
+
+	e := NewEngine()
+	driveResetWorkload(e) // dirty the engine
+	for round := 0; round < 3; round++ {
+		e.Reset()
+		if e.Now() != 0 || e.Fired() != 0 {
+			t.Fatalf("round %d: reset engine at t=%g fired=%d", round, e.Now(), e.Fired())
+		}
+		gotLog, gotEnd := driveResetWorkload(e)
+		if gotEnd != wantEnd {
+			t.Fatalf("round %d: final time %016x, fresh %016x",
+				round, math.Float64bits(gotEnd), math.Float64bits(wantEnd))
+		}
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("round %d: %d firings, fresh %d", round, len(gotLog), len(wantLog))
+		}
+		for i := range gotLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("round %d: firing %d = %q, fresh %q", round, i, gotLog[i], wantLog[i])
+			}
+		}
+	}
+}
+
+// TestResetReusesProcs verifies Reset parks finished coroutine objects for
+// the next run's spawns instead of dropping them.
+func TestResetReusesProcs(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Spawn("p", func(p *Proc) { p.Wait(1e-9) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	if got := len(e.procPool); got != 8 {
+		t.Fatalf("procPool holds %d procs after Reset, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		e.Spawn("p", func(p *Proc) { p.Wait(1e-9) })
+	}
+	if got := len(e.procPool); got != 0 {
+		t.Fatalf("respawn left %d pooled procs, want 0", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetimeKeepsSeqTieBreak pins Retime's contract: a retimed event
+// keeps its original scheduling position among events at its new
+// instant, firing before anything scheduled after it — even though the
+// later events were pushed first at that time.
+func TestRetimeKeepsSeqTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	early := e.Schedule(1e-9, func() { order = append(order, "early") }) // seq 1
+	e.Schedule(5e-9, func() { order = append(order, "a") })              // seq 2
+	e.Schedule(5e-9, func() { order = append(order, "b") })              // seq 3
+	e.Retime(early, 5e-9)                                                // still seq 1
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"early", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRetimeDeadPanics pins the misuse guards.
+func TestRetimeDeadPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1e-9, func() {})
+	ev.Cancel()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Retime of a cancelled event did not panic")
+			}
+		}()
+		e.Retime(ev, 2e-9)
+	}()
+}

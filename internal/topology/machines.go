@@ -1,5 +1,7 @@
 package topology
 
+import "fmt"
+
 // This file defines the four experimental platforms of the paper's §VI-A.
 // Link bandwidths and scalar costs are calibrated from the named hardware
 // (memory generation and channel count, FSB vs QPI vs HyperTransport, cache
@@ -161,13 +163,52 @@ func ByName(name string) *Machine {
 		return Saturn()
 	case "IG", "ig":
 		return IG()
+	case "MC128", "mc128":
+		return ManyCore(128)
+	case "MC512", "mc512":
+		return ManyCore(512)
 	}
 	return nil
+}
+
+// ManyCore models the post-paper "many-core" target of the ROADMAP: a
+// 128- or 512-core NUMA node in the IG mold (eight-core sockets behind a
+// hierarchical interconnect) with bandwidths scaled to a modern DDR4/IF
+// class part. The paper's largest platform is the 48-core IG; these
+// machines are the scale points the engine and sweep layers are gated on
+// (cmd/simbench scale cells, `make scale-smoke`).
+func ManyCore(cores int) *Machine {
+	spec := Spec{
+		CoreCopyBW:  8 * gb,
+		KernelTrap:  100e-9,
+		CopySetup:   500e-9,
+		PinPerPage:  40e-9,
+		CtrlLatency: 250e-9,
+		Flops:       16e9,
+	}
+	switch cores {
+	case 128:
+		return Synthetic(SyntheticSpec{
+			Name: "MC128", Boards: 2, SocketsPerBoard: 8, CoresPerSocket: 8,
+			BusBW: 35 * gb, LinkBW: 18 * gb, BoardLinkBW: 14 * gb,
+			CacheSize: 32 * mb, CachePortBW: 60 * gb,
+			Spec: spec,
+		})
+	case 512:
+		return Synthetic(SyntheticSpec{
+			Name: "MC512", Boards: 4, SocketsPerBoard: 16, CoresPerSocket: 8,
+			BusBW: 35 * gb, LinkBW: 18 * gb, BoardLinkBW: 14 * gb,
+			CacheSize: 32 * mb, CachePortBW: 60 * gb,
+			Spec: spec,
+		})
+	}
+	panic(fmt.Sprintf("topology: ManyCore(%d): supported core counts are 128 and 512", cores))
 }
 
 // SyntheticSpec parameterizes Synthetic machines for tests and what-if
 // studies.
 type SyntheticSpec struct {
+	Name            string // machine name (default "synthetic")
 	Boards          int
 	SocketsPerBoard int
 	CoresPerSocket  int
@@ -186,7 +227,11 @@ func Synthetic(s SyntheticSpec) *Machine {
 	if s.Boards < 1 || s.SocketsPerBoard < 1 || s.CoresPerSocket < 1 {
 		panic("topology: Synthetic with non-positive shape")
 	}
-	b := NewBuilder("synthetic", s.Spec)
+	name := s.Name
+	if name == "" {
+		name = "synthetic"
+	}
+	b := NewBuilder(name, s.Spec)
 	verts := make([]int, 0, s.Boards*s.SocketsPerBoard)
 	for board := 0; board < s.Boards; board++ {
 		base := len(verts)
