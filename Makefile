@@ -5,7 +5,7 @@ GO ?= go
 # silently measuring a degenerate trajectory) on single-core runners.
 SIMBENCH_FLAGS ?=
 
-.PHONY: all check test test-race vet fuzz-short bench bench-smoke cluster-smoke scale-smoke figures table1 results tune-smoke profile clean
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke cluster-smoke scale-smoke simd-smoke figures table1 results tune-smoke profile clean
 
 all: test vet
 
@@ -115,6 +115,22 @@ scale-smoke:
 	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 1 -no-cache > /tmp/scale-smoke-a.txt
 	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 4 -no-cache > /tmp/scale-smoke-b.txt
 	cmp /tmp/scale-smoke-a.txt /tmp/scale-smoke-b.txt
+
+# Serving smoke: boot the simd daemon on a random port against a fresh
+# cache directory and run its built-in contract check — the same batch
+# posted by concurrent clients twice over must be byte-identical every
+# time and the second round 100% cache-served (verified via /v1/stats
+# deltas). simd prints the sweep panel for its smoke cells on stdout;
+# running imb over the same cells and cache directory must produce the
+# byte-identical panel — the serving tier and the CLI are the same
+# deterministic engine behind different front doors.
+simd-smoke:
+	rm -rf /tmp/simd-smoke-cache
+	$(GO) run ./cmd/simd -smoke -cache-dir /tmp/simd-smoke-cache > /tmp/simd-smoke-server.txt
+	$(GO) run ./cmd/imb -op bcast -machine Zoot -sizes 64K,1M -iters 1 -comps KNEM-Coll,Tuned-SM -cache-dir /tmp/simd-smoke-cache > /tmp/simd-smoke-imb.txt 2>/tmp/simd-smoke-imb.err
+	cmp /tmp/simd-smoke-server.txt /tmp/simd-smoke-imb.txt
+	grep -q ", 0 misses" /tmp/simd-smoke-imb.err
+	$(GO) run ./cmd/simd -selftest -cache-dir /tmp/simd-smoke-cache > /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -40,7 +40,11 @@ func main() {
 	}
 	// Verification runs are real-data checks and never cached; the Table I
 	// application cells below are deterministic and memoize like any sweep.
-	cached := bench.EnableDefaultCache("asp", *noCache, *cacheDir)
+	cached, err := bench.EnableDefaultCache("asp", *noCache, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asp:", err)
+		os.Exit(1)
+	}
 	type job struct {
 		m *topology.Machine
 		n int

@@ -88,7 +88,11 @@ func main() {
 	flag.Parse()
 	jsonOut = *asJSON
 	bench.SetParallel(*parallel)
-	cached := bench.EnableDefaultCache("imb", *noCache, *cacheDir)
+	cached, err := bench.EnableDefaultCache("imb", *noCache, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imb:", err)
+		os.Exit(1)
+	}
 	stopProfiles, err := bench.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imb:", err)

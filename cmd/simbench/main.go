@@ -21,9 +21,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -35,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsim"
 	"repro/internal/mpi"
+	"repro/internal/serve"
 	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -43,12 +47,14 @@ import (
 
 const MB = 1 << 20
 
-// Report is the BENCH_sim.json schema ("bench_sim/v5"; v4 lacked the
-// many-core scale cells (core/bcast_cell_128, core/bcast_cell_512, the
-// 1024-rank cluster cell) and the binary-heap queue baseline, v3 lacked
-// the cluster section, v2 lacked the core/bcast_cell_64KiB scenario and
-// the zero-allocation gates, v1 lacked the tune_search section, the
-// parallel-sweep skip annotation, and the channel-engine baseline).
+// Report is the BENCH_sim.json schema ("bench_sim/v6"; v5 lacked the
+// serving-tier cell (serve_batch_64cells: HTTP batch latency and cache hit
+// rate through cmd/simd's stack), v4 lacked the many-core scale cells
+// (core/bcast_cell_128, core/bcast_cell_512, the 1024-rank cluster cell)
+// and the binary-heap queue baseline, v3 lacked the cluster section, v2
+// lacked the core/bcast_cell_64KiB scenario and the zero-allocation gates,
+// v1 lacked the tune_search section, the parallel-sweep skip annotation,
+// and the channel-engine baseline).
 type Report struct {
 	Schema     string      `json:"schema"`
 	GoVersion  string      `json:"go"`
@@ -63,7 +69,14 @@ type Report struct {
 	// at a size one CI runner can still time.
 	Cluster1024 ClusterLine    `json:"cluster_1024"`
 	TuneSearch  TuneSearchLine `json:"tune_search"`
-	Baseline    []BenchLine    `json:"baseline_pre_optimization"`
+	// Serve is the serving-tier cell: a 64-cell batch posted to an
+	// in-process simd server by concurrent clients, cold (populating the
+	// layered caches) then warm. The warm round must be fully cache-served
+	// — its hit rate is gated exactly at 1.0 by -check — while the latency
+	// quantiles are recorded for the trajectory but not gated (wall-clock
+	// noise on shared CI runners).
+	Serve    ServeLine   `json:"serve_batch_64cells"`
+	Baseline []BenchLine `json:"baseline_pre_optimization"`
 	// BaselineChannels records the goroutine-channel engine's committed
 	// numbers immediately before the coroutine switch, so this report
 	// always shows the handoff and sweep trajectory across that change.
@@ -121,6 +134,21 @@ type TuneSearchLine struct {
 	SecondsFresh  float64 `json:"seconds_fresh"`
 	SecondsCached float64 `json:"seconds_cached"`
 	Speedup       float64 `json:"speedup"`
+}
+
+// ServeLine is the serving-tier cell (see Report.Serve): client-observed
+// batch-request latency quantiles and the server-side cache hit rate for
+// the cold (populating) and warm (fully cached) rounds.
+type ServeLine struct {
+	Machine      string  `json:"machine"`
+	Cells        int     `json:"cells"` // cells per batch request
+	Requests     int     `json:"requests"`
+	ColdSeconds  float64 `json:"seconds_cold"` // wall clock of the populating round
+	ColdHitRate  float64 `json:"cold_hit_rate"`
+	WarmP50      float64 `json:"warm_p50_seconds"`
+	WarmP99      float64 `json:"warm_p99_seconds"`
+	WarmHitRate  float64 `json:"warm_hit_rate"`
+	WarmSimCells int64   `json:"warm_sim_cells"` // cells the warm round re-simulated (must be 0)
 }
 
 // EngineBaseline is the committed channel-engine snapshot (see
@@ -208,7 +236,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:            "bench_sim/v5",
+		Schema:            "bench_sim/v6",
 		GoVersion:         runtime.Version(),
 		CPUs:              runtime.NumCPU(),
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
@@ -242,6 +270,7 @@ func main() {
 	rep.Cluster = measureCluster(*short)
 	rep.Cluster1024 = measureCluster1024(*short)
 	rep.TuneSearch = measureTuneSearch(*short)
+	rep.Serve = measureServe(*short)
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -348,6 +377,25 @@ func checkAgainst(cur, base *Report, tol float64) bool {
 			}
 		}
 		return 0
+	}
+	// Serving-tier gate: the warm round must be answered entirely from the
+	// layered caches — an exact 1.0, no tolerance, because a single
+	// re-simulated cell means the determinism/caching contract broke (key
+	// instability, a dropped memo write, an LRU that stopped admitting).
+	// The latency quantiles are trajectory data only, never gated.
+	if cur.Serve.Requests > 0 {
+		status := "ok"
+		if cur.Serve.WarmHitRate != 1.0 || cur.Serve.WarmSimCells != 0 {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "simbench: check: serve warm hit rate: %.4f (%d re-simulated; must be 1.0000 / 0): %s\n",
+			cur.Serve.WarmHitRate, cur.Serve.WarmSimCells, status)
+		fmt.Fprintf(os.Stderr, "simbench: check: serve warm p50/p99: %.4gs / %.4gs (recorded, not gated)\n",
+			cur.Serve.WarmP50, cur.Serve.WarmP99)
+	} else {
+		fmt.Fprintln(os.Stderr, "simbench: check: serve: scenario missing from this run")
+		ok = false
 	}
 	compare("sim/park_wake ns/op", find(cur, "sim/park_wake"), find(base, "sim/park_wake"))
 	compare("core/bcast_cell_512 ns/op", find(cur, "core/bcast_cell_512"), find(base, "core/bcast_cell_512"))
@@ -626,6 +674,106 @@ func measureCluster1024(short bool) ClusterLine {
 		Nodes: nodes, NP: cl.Global.NCores(), Op: string(op), Size: size,
 		Simulated: res.Seconds, Wall: time.Since(start).Seconds(),
 	}
+}
+
+// serveBatch is the serving-tier reference batch: 64 cells (two
+// components x two ops x sixteen sizes) on Zoot at np=8 — small enough
+// that the cold round finishes in CI, wide enough that the warm round's
+// hit rate actually exercises the sharded LRU and memo layers (-short
+// trims to 16 cells).
+func serveBatch(short bool) serve.BatchRequest {
+	comps := []string{"KNEM-Coll", "Tuned-SM"}
+	ops := []string{"bcast", "gather"}
+	nsizes := 16
+	if short {
+		nsizes = 4
+	}
+	req := serve.BatchRequest{Machine: "Zoot"}
+	for _, comp := range comps {
+		for _, op := range ops {
+			for i := 0; i < nsizes; i++ {
+				req.Cells = append(req.Cells, serve.CellSpec{
+					Comp: comp, Op: op, Size: 1 << (10 + i), NP: 8, Iters: 1,
+				})
+			}
+		}
+	}
+	return req
+}
+
+// measureServe boots an in-process simd server over a fresh temporary
+// cache and drives the load harness through real HTTP: a cold round that
+// populates the layered caches, then a timed warm round that must be
+// served entirely without re-simulation. The harness itself asserts
+// byte-identical responses across every repetition and concurrency level.
+func measureServe(short bool) ServeLine {
+	dir, err := os.MkdirTemp("", "simbench-serve-cache-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	if err := bench.EnableCache(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	defer bench.DisableCache()
+	bench.SetParallel(runtime.GOMAXPROCS(0))
+	defer bench.SetParallel(1)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: serve.New(serve.Options{}).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	req := serveBatch(short)
+	ctx := context.Background()
+	t0 := time.Now()
+	cold, err := serve.Load(ctx, serve.LoadOptions{BaseURL: base, Request: req, Concurrency: 4, Repetitions: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: serve cold round:", err)
+		os.Exit(1)
+	}
+	coldWall := time.Since(t0).Seconds()
+
+	simsBefore := fetchSimCount(base)
+	warm, err := serve.Load(ctx, serve.LoadOptions{BaseURL: base, Request: req, Concurrency: 8, Repetitions: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: serve warm round:", err)
+		os.Exit(1)
+	}
+	if string(warm.Body) != string(cold.Body) {
+		fmt.Fprintln(os.Stderr, "simbench: serve warm response differs from cold response")
+		os.Exit(1)
+	}
+	return ServeLine{
+		Machine: req.Machine, Cells: len(req.Cells), Requests: cold.Requests + warm.Requests,
+		ColdSeconds: coldWall, ColdHitRate: cold.HitRate,
+		WarmP50: warm.P50Seconds, WarmP99: warm.P99Seconds, WarmHitRate: warm.HitRate,
+		WarmSimCells: fetchSimCount(base) - simsBefore,
+	}
+}
+
+// fetchSimCount reads the server's cumulative simulated-cell count (cells
+// that reached the runner and were not memo hits).
+func fetchSimCount(base string) int64 {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	return st.SimLatency.Count - st.Cache.SimHits
 }
 
 // measureTuneSearch runs one autotuner search twice against a fresh

@@ -82,7 +82,10 @@ func cmdSearch(args []string) {
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	fs.Parse(args)
 	bench.SetParallel(*parallel)
-	cached := bench.EnableDefaultCache("tune", *noCache, *cacheDir)
+	cached, err := bench.EnableDefaultCache("tune", *noCache, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
 	stopProfiles, err := bench.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)

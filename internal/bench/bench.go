@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coll/basic"
@@ -235,30 +236,80 @@ type Result struct {
 // component configuration, op, size, nranks, iterations, decisions — was
 // measured before replays the recorded result instead of re-simulating.
 func Measure(cfg Config) (Result, error) {
+	return MeasureCtx(context.Background(), cfg)
+}
+
+// MeasureCtx is Measure under a context: a cancelled ctx aborts the cell —
+// before it starts, while it waits on an identical in-flight cell, or
+// mid-simulation via the engine's interrupt poll — and returns ctx's
+// error. Abort is clean: the leased engine shard is always released back
+// to the pool (Reset on its next lease restores observably-fresh state),
+// so a server dropping a request mid-sweep leaks nothing. Concurrent
+// MeasureCtx calls for the same cache key are deduplicated: one simulates,
+// the others wait and replay its memoized entry (see flight.go).
+func MeasureCtx(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.NP == 0 {
 		cfg.NP = cfg.Machine.NCores()
 	}
 	if cfg.Iters == 0 {
 		cfg.Iters = 3
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	dec := cfg.Decider
 	if dec == nil {
 		dec = decisions.Load().For(cfg.Machine)
 	}
 	var key string
+	var fl *flight
 	if memo.enabled.Load() {
 		if k, ok := memoKey(cfg, dec); ok {
 			key = k
-			if ent, ok := memoLookup(k); ok {
-				return Result{Config: cfg, Seconds: ent.Seconds, Stats: ent.Stats}, nil
+			for {
+				if ent, ok := memoPeek(key); ok {
+					memo.hits.Add(1)
+					return Result{Config: cfg, Seconds: ent.Seconds, Stats: ent.Stats}, nil
+				}
+				var leader bool
+				fl, leader = flightJoin(key)
+				if leader {
+					break
+				}
+				memo.deduped.Add(1)
+				select {
+				case <-fl.done:
+				case <-ctx.Done():
+					return Result{}, ctx.Err()
+				}
+				// Leader succeeded: loop back to the peek, which now hits.
+				// Leader failed: loop back and race to become the new leader.
 			}
+			memo.misses.Add(1)
 		}
 	}
+	res, err := simulate(ctx, cfg, dec)
+	if fl != nil {
+		if err == nil {
+			memoStore(key, memoEntry{Seconds: res.Seconds, Stats: res.Stats})
+		}
+		flightDone(key, fl, err == nil)
+	}
+	return res, err
+}
+
+// simulate runs cfg's cell for real on a pooled engine shard. cfg must
+// already have NP and Iters defaulted and dec resolved.
+func simulate(ctx context.Context, cfg Config, dec *tune.Decider) (Result, error) {
 	perRank := make([]float64, cfg.NP)
 	stats := &trace.Stats{}
 	sh := acquireShard()
 	defer releaseShard(sh)
 	eng, net := sh.lease(cfg.Machine, stats)
+	if ctx.Done() != nil {
+		eng.SetInterrupt(ctx.Err)
+		defer eng.SetInterrupt(nil)
+	}
 	_, _, err := mpi.Run(mpi.Options{
 		Machine: cfg.Machine,
 		NP:      cfg.NP,
@@ -302,10 +353,30 @@ func Measure(cfg Config) (Result, error) {
 			res.Seconds = v
 		}
 	}
-	if key != "" {
-		memoStore(key, memoEntry{Seconds: res.Seconds, Stats: res.Stats})
-	}
 	return res, nil
+}
+
+// CellKey returns the content-addressed cache key Measure uses for cfg —
+// after applying the NP/Iters defaults and resolving the effective
+// decision table — and ok=false for cells that are never cached (fault
+// plans, components without a canonical configuration encoding). The
+// serving layer keys its bounded in-memory store by it, so a served cell
+// and a memoized cell can never alias under different identities.
+func CellKey(cfg Config) (string, bool) {
+	if cfg.Machine == nil {
+		return "", false
+	}
+	if cfg.NP == 0 {
+		cfg.NP = cfg.Machine.NCores()
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 3
+	}
+	dec := cfg.Decider
+	if dec == nil {
+		dec = decisions.Load().For(cfg.Machine)
+	}
+	return memoKey(cfg, dec)
 }
 
 // MustMeasure is Measure, panicking on simulation failure (used by the

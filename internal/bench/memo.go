@@ -50,6 +50,7 @@ var memo struct {
 	mem     sync.Map // key string -> memoEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
+	deduped atomic.Int64
 }
 
 // memoEntry is one cached cell, also the on-disk JSON document. Seconds
@@ -65,18 +66,29 @@ type memoEntry struct {
 
 // EnableCache turns on run memoization. dir is the persistent cache
 // directory shared across processes; "" keeps the cache in-memory only
-// (per process). Enabling resets the hit/miss counters.
+// (per process). Missing parents are created, and writability is probed up
+// front: per-entry writes are deliberately best-effort and silent (they
+// cost speed, not results), so a directory that can never accept a write
+// must be rejected here, once, with one clear error — not discovered late
+// as a per-shard no-op. Enabling resets the hit/miss/dedup counters.
 func EnableCache(dir string) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("bench: cache dir: %w", err)
+			return fmt.Errorf("bench: cache dir %s: %v", dir, err)
 		}
+		probe, err := os.CreateTemp(dir, ".probe-*")
+		if err != nil {
+			return fmt.Errorf("bench: cache dir %s is not writable: %v", dir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
 	}
 	memo.mu.Lock()
 	memo.dir = dir
 	memo.mu.Unlock()
 	memo.hits.Store(0)
 	memo.misses.Store(0)
+	memo.deduped.Store(0)
 	memo.enabled.Store(true)
 	return nil
 }
@@ -89,24 +101,32 @@ func DisableCache() {
 }
 
 // EnableDefaultCache turns on run memoization (unless noCache), using dir
-// or a per-user default directory; it reports whether the cache is on. A
-// directory failure degrades to an in-process cache, not an error: the
-// cache only ever trades speed, never results. This is the shared flag
-// plumbing behind the -no-cache/-cache-dir flags of imb, tune, and asp.
-func EnableDefaultCache(prog string, noCache bool, dir string) bool {
+// or a per-user default directory; it reports whether the cache is on.
+// An explicitly requested directory that cannot be created or written is
+// an error the caller must fail fast on — the user asked for exactly that
+// path, so silently degrading would hide a misconfiguration. Only the
+// implicit per-user default degrades to an in-process cache with a
+// warning: there the cache trades speed, never results. This is the
+// shared flag plumbing behind the -no-cache/-cache-dir flags of imb,
+// tune, asp, and simd.
+func EnableDefaultCache(prog string, noCache bool, dir string) (bool, error) {
 	if noCache {
-		return false
+		return false, nil
 	}
-	if dir == "" {
-		if base, err := os.UserCacheDir(); err == nil {
-			dir = filepath.Join(base, "repro-sim")
+	if dir != "" {
+		if err := EnableCache(dir); err != nil {
+			return false, err
 		}
+		return true, nil
+	}
+	if base, err := os.UserCacheDir(); err == nil {
+		dir = filepath.Join(base, "repro-sim")
 	}
 	if err := EnableCache(dir); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v (continuing with an in-memory cache)\n", prog, err)
 		EnableCache("")
 	}
-	return true
+	return true, nil
 }
 
 // ReportCacheCounts prints the hit/miss summary the cache-enabled commands
@@ -117,10 +137,17 @@ func ReportCacheCounts(prog string) {
 }
 
 // CacheCounts returns how many Measure calls were served from the cache
-// and how many had to simulate since the cache was last enabled.
+// and how many had to simulate since the cache was last enabled. Calls
+// that waited on an identical in-flight cell (singleflight) count as hits:
+// they were served without a simulation of their own.
 func CacheCounts() (hits, misses int64) {
 	return memo.hits.Load(), memo.misses.Load()
 }
+
+// DedupedCount returns how many Measure calls were deduplicated against an
+// identical in-flight cell since the cache was last enabled — each one a
+// simulation the singleflight layer avoided without touching disk.
+func DedupedCount() int64 { return memo.deduped.Load() }
 
 // memoKey builds cfg's cache key. ok is false when the cell must not be
 // cached: a fault plan is active, or the component carries no canonical
@@ -147,11 +174,12 @@ func entryPath(dir, key string) string {
 	return filepath.Join(dir, h[:2], h+".json")
 }
 
-// memoLookup consults the in-memory layer, then disk. Disk hits are
+// memoPeek consults the in-memory layer, then disk, without touching the
+// hit/miss counters — Measure accounts each of its calls exactly once
+// after the singleflight layer has resolved who simulates. Disk hits are
 // promoted to memory. Any read, decode, or key mismatch problem is a miss.
-func memoLookup(key string) (memoEntry, bool) {
+func memoPeek(key string) (memoEntry, bool) {
 	if v, ok := memo.mem.Load(key); ok {
-		memo.hits.Add(1)
 		return v.(memoEntry), true
 	}
 	memo.mu.Lock()
@@ -163,12 +191,10 @@ func memoLookup(key string) (memoEntry, bool) {
 			var ent memoEntry
 			if json.Unmarshal(data, &ent) == nil && ent.Schema == cacheSchema && ent.Key == key {
 				memo.mem.Store(key, ent)
-				memo.hits.Add(1)
 				return ent, true
 			}
 		}
 	}
-	memo.misses.Add(1)
 	return memoEntry{}, false
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -118,4 +119,86 @@ func MeasureAll(cfgs []Config) []Result {
 		out[i] = MustMeasure(cfgs[i])
 	})
 	return out
+}
+
+// MeasureAllCtx is MeasureAll under a context, returning errors instead of
+// panicking: cancelling ctx stops the sweep — workers take no new cells,
+// and in-flight cells abort through the engine interrupt poll — with every
+// leased engine shard released back to the pool. When multiple cells fail,
+// the error of the lowest-indexed failing cell is returned, so the
+// reported error does not depend on worker interleaving. On any error the
+// partial results are discarded.
+func MeasureAllCtx(ctx context.Context, cfgs []Config) ([]Result, error) {
+	out := make([]Result, len(cfgs))
+	if err := runCellsCtx(ctx, len(cfgs), func(i int) error {
+		var err error
+		out[i], err = MeasureCtx(ctx, cfgs[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runCellsCtx is runCells with cooperative cancellation and error
+// propagation: fn(i) runs for each index on the worker pool until every
+// index completes, an fn returns an error, or ctx is cancelled. The first
+// error by cell index wins (deterministic across interleavings); a
+// cancelled ctx surfaces as its own error when no cell failed first.
+func runCellsCtx(ctx context.Context, n int, fn func(i int) error) error {
+	workers := Parallel()
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errAt  = -1
+		errVal error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errAt < 0 || i < errAt {
+			errAt, errVal = i, err
+		}
+		mu.Unlock()
+	}
+	stopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return errAt >= 0
+	}
+	body := func() {
+		for {
+			if err := ctx.Err(); err != nil {
+				fail(n, err) // rank context errors after any real cell error
+				return
+			}
+			if stopped() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				fail(i, err)
+				return
+			}
+		}
+	}
+	if workers <= 1 {
+		body()
+		return errVal
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	wg.Wait()
+	return errVal
 }

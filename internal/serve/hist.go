@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// hist is a lock-free log2-bucketed latency histogram: bucket i counts
+// observations in [2^(i-1), 2^i) microseconds (bucket 0 is everything
+// under 1 µs, the top bucket is open-ended). Thirty-four buckets cover
+// sub-microsecond cache hits through multi-hour outliers, observation is
+// one atomic add on the serving hot path, and quantiles are read out of
+// the bucket counts — conservative upper bounds, which is the right
+// direction for a latency SLO.
+const histBuckets = 34
+
+type hist struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func histBucket(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for <1us, 1 for 1us, 2 for 2-3us, ...
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// upperBoundSeconds is bucket b's inclusive upper latency bound.
+func upperBoundSeconds(b int) float64 {
+	return float64(uint64(1)<<uint(b)) * 1e-6
+}
+
+func (h *hist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucket(d)].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// quantile returns an upper bound on the q-quantile in seconds (0 when
+// nothing was observed).
+func (h *hist) quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return upperBoundSeconds(i)
+		}
+	}
+	return upperBoundSeconds(len(h.counts) - 1)
+}
+
+// HistBucket is one non-empty histogram bucket in a stats response.
+type HistBucket struct {
+	// LeSeconds is the bucket's inclusive upper latency bound.
+	LeSeconds float64 `json:"le_seconds"`
+	Count     int64   `json:"count"`
+}
+
+// HistStats is the rendered histogram: counts, mean, and quantile upper
+// bounds, with only the populated buckets listed (in latency order).
+type HistStats struct {
+	Count       int64        `json:"count"`
+	MeanSeconds float64      `json:"mean_seconds"`
+	P50Seconds  float64      `json:"p50_seconds"`
+	P99Seconds  float64      `json:"p99_seconds"`
+	Buckets     []HistBucket `json:"buckets,omitempty"`
+}
+
+func (h *hist) stats() HistStats {
+	s := HistStats{
+		Count:      h.total.Load(),
+		P50Seconds: h.quantile(0.50),
+		P99Seconds: h.quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.MeanSeconds = float64(h.sumNs.Load()) / 1e9 / float64(s.Count)
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{LeSeconds: upperBoundSeconds(i), Count: n})
+		}
+	}
+	return s
+}

@@ -114,6 +114,7 @@ type Engine struct {
 
 	fired     int64
 	maxEvents int64
+	interrupt func() error
 }
 
 // NewEngine returns an empty simulation at time zero.
@@ -222,6 +223,38 @@ func (e *Engine) Fired() int64 { return e.fired }
 // disables the watchdog (the default).
 func (e *Engine) SetMaxEvents(n int64) { e.maxEvents = n }
 
+// interruptStride is how many fired events pass between interrupt polls: a
+// compromise between cancellation latency (a few thousand events is well
+// under a millisecond of wall clock on every measured machine) and keeping
+// the poll off the per-event hot path.
+const interruptStride = 1024
+
+// SetInterrupt installs an external abort poll, checked every
+// interruptStride fired events. When fn returns a non-nil error, Run kills
+// all parked processes (their body defers run, so pooled state is
+// released) and returns an *InterruptError wrapping it. The poll must be
+// side-effect-free: it runs between events and must not observe or mutate
+// simulation state, so an installed-but-never-firing poll leaves every
+// timestamp and sequence number bit-identical to an uninstrumented run.
+// Like the SetMaxEvents watchdog, the poll is engine configuration and
+// survives Reset; nil removes it (the default). The measurement harness
+// points it at a context.Context so callers can cancel mid-cell without
+// leaking pooled engine shards.
+func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
+
+// InterruptError reports that the poll installed with SetInterrupt aborted
+// the run; Cause is what the poll returned (errors.Is/As unwrap to it).
+type InterruptError struct {
+	Cause error
+	At    Time
+}
+
+func (i *InterruptError) Error() string {
+	return fmt.Sprintf("sim: interrupted at t=%.9fs: %v", i.At, i.Cause)
+}
+
+func (i *InterruptError) Unwrap() error { return i.Cause }
+
 // WatchdogError reports that the event budget set by SetMaxEvents ran out.
 type WatchdogError struct {
 	Fired int64
@@ -284,6 +317,12 @@ func (e *Engine) Run() error {
 			e.killParked()
 			return &WatchdogError{Fired: e.fired, At: e.now}
 		}
+		if e.interrupt != nil && e.fired%interruptStride == 0 {
+			if err := e.interrupt(); err != nil {
+				e.killParked()
+				return &InterruptError{Cause: err, At: e.now}
+			}
+		}
 	}
 	var err error
 	if !e.stopped && e.live > 0 {
@@ -319,7 +358,8 @@ func (e *Engine) flushDeferred() {
 // runs) but schedules and spawns with far fewer allocations, which is what
 // the sharded sweep runner reuses between cells. All outstanding Event and
 // Proc handles are invalidated; callers must drop them. The SetMaxEvents
-// watchdog budget is configuration and survives Reset.
+// watchdog budget and the SetInterrupt poll are configuration and survive
+// Reset.
 func (e *Engine) Reset() {
 	if e.running {
 		panic("sim: Reset while running")

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInterruptAborts pins the SetInterrupt contract: once the poll
+// returns an error, Run stops after the current event, kills parked
+// processes (running their body defers), and returns an *InterruptError
+// unwrapping to the poll's error.
+func TestInterruptAborts(t *testing.T) {
+	cause := errors.New("cancelled")
+	e := NewEngine()
+	polls, cleaned := 0, false
+	e.SetInterrupt(func() error {
+		polls++
+		if polls >= 3 {
+			return cause
+		}
+		return nil
+	})
+	e.Spawn("worker", func(p *Proc) {
+		defer func() { cleaned = true }()
+		for {
+			p.Wait(1e-9)
+		}
+	})
+	err := e.Run()
+	var ie *InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Run returned %v, want *InterruptError", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("InterruptError does not unwrap to the poll's error: %v", err)
+	}
+	if !cleaned {
+		t.Fatal("parked process was not killed (its defer never ran)")
+	}
+}
+
+// TestInterruptPollIsInvisible proves an installed-but-never-firing poll
+// changes nothing: the same workload with and without a poll produces
+// identical final times and event counts, and a Reset engine that ran an
+// interrupted cell replays a fresh cell bit-identically.
+func TestInterruptPollIsInvisible(t *testing.T) {
+	run := func(e *Engine) (Time, int64) {
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 5000; i++ {
+				p.Wait(1e-9)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Fired()
+	}
+	plain := NewEngine()
+	wantT, wantN := run(plain)
+
+	polled := NewEngine()
+	polled.SetInterrupt(func() error { return nil })
+	gotT, gotN := run(polled)
+	if gotT != wantT || gotN != wantN {
+		t.Fatalf("poll changed the run: t=%v fired=%d, want t=%v fired=%d", gotT, gotN, wantT, wantN)
+	}
+
+	// Interrupt a run, then Reset and replay without the poll: the reused
+	// engine must be indistinguishable from a fresh one.
+	reused := NewEngine()
+	reused.SetInterrupt(func() error { return errors.New("stop") })
+	reused.Spawn("b", func(p *Proc) {
+		for {
+			p.Wait(1e-9)
+		}
+	})
+	if err := reused.Run(); err == nil {
+		t.Fatal("interrupted run returned nil")
+	}
+	reused.Reset()
+	reused.SetInterrupt(nil)
+	gotT, gotN = run(reused)
+	if gotT != wantT || gotN != wantN {
+		t.Fatalf("post-interrupt Reset replay diverges: t=%v fired=%d, want t=%v fired=%d", gotT, gotN, wantT, wantN)
+	}
+}
