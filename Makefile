@@ -5,7 +5,7 @@ GO ?= go
 # silently measuring a degenerate trajectory) on single-core runners.
 SIMBENCH_FLAGS ?=
 
-.PHONY: all check test test-race vet fuzz-short bench bench-smoke cluster-smoke scale-smoke simd-smoke figures table1 results tune-smoke profile clean
+.PHONY: all check test test-race vet fuzz-short bench bench-smoke bench-diff cluster-smoke scale-smoke simd-smoke figures table1 results tune-smoke profile clean
 
 all: test vet
 
@@ -42,6 +42,11 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -check BENCH_sim.json -tolerance 0.25 -o /tmp/BENCH_sim.current.json
+
+# Print the old-vs-new delta table between the committed baseline and the
+# report bench-smoke just measured (run bench-smoke first).
+bench-diff:
+	$(GO) run ./cmd/simbench -diff BENCH_sim.json /tmp/BENCH_sim.current.json
 
 # Regenerate every recorded artifact under results/. Output is byte-identical
 # at any -parallel level (see internal/bench/parallel.go); the sweeps are
@@ -111,10 +116,15 @@ cluster-smoke:
 # -parallel 1 and -parallel 4 with the memo cache off so both runs truly
 # simulate — the sharded sweep runner's reuse of engines and nets across
 # cells must keep the tables byte-identical at every parallelism level.
+# Then run the 10,240-rank cluster cell once under the CPU profiler (the
+# arena-backed construction path at its largest scale) and assert the
+# profile landed non-empty.
 scale-smoke:
 	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 1 -no-cache > /tmp/scale-smoke-a.txt
 	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 4 -no-cache > /tmp/scale-smoke-b.txt
 	cmp /tmp/scale-smoke-a.txt /tmp/scale-smoke-b.txt
+	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -only cluster_10k -cpuprofile /tmp/scale-smoke-10k.pprof -o /tmp/scale-smoke-10k.json
+	test -s /tmp/scale-smoke-10k.pprof
 
 # Serving smoke: boot the simd daemon on a random port against a fresh
 # cache directory and run its built-in contract check — the same batch

@@ -47,9 +47,12 @@ import (
 
 const MB = 1 << 20
 
-// Report is the BENCH_sim.json schema ("bench_sim/v6"; v5 lacked the
-// serving-tier cell (serve_batch_64cells: HTTP batch latency and cache hit
-// rate through cmd/simd's stack), v4 lacked the many-core scale cells
+// Report is the BENCH_sim.json schema ("bench_sim/v7"; v6 lacked the
+// 10,240-rank cluster cell, the cluster cells' allocs_per_op, and ran the
+// many-core Broadcast cells on fresh engines instead of reused
+// arena-backed shards, v5 lacked the serving-tier cell
+// (serve_batch_64cells: HTTP batch latency and cache hit rate through
+// cmd/simd's stack), v4 lacked the many-core scale cells
 // (core/bcast_cell_128, core/bcast_cell_512, the 1024-rank cluster cell)
 // and the binary-heap queue baseline, v3 lacked the cluster section, v2
 // lacked the core/bcast_cell_64KiB scenario and the zero-allocation gates,
@@ -67,8 +70,12 @@ type Report struct {
 	// Cluster1024 is the 1024-rank hierarchical broadcast over sixteen
 	// 64-core nodes — the "10k simulated ranks per cluster run" direction
 	// at a size one CI runner can still time.
-	Cluster1024 ClusterLine    `json:"cluster_1024"`
-	TuneSearch  TuneSearchLine `json:"tune_search"`
+	Cluster1024 ClusterLine `json:"cluster_1024"`
+	// Cluster10k is the ROADMAP's 10k-rank point itself: eighty 128-core
+	// nodes, 10,240 ranks, one hierarchical broadcast — runnable inside
+	// the CI smoke budget now that per-rank state is arena-backed.
+	Cluster10k ClusterLine    `json:"cluster_10k"`
+	TuneSearch TuneSearchLine `json:"tune_search"`
 	// Serve is the serving-tier cell: a 64-cell batch posted to an
 	// in-process simd server by concurrent clients, cold (populating the
 	// layered caches) then warm. The warm round must be fully cache-served
@@ -122,6 +129,10 @@ type ClusterLine struct {
 	Size      int64   `json:"size"`
 	Simulated float64 `json:"seconds_simulated"`
 	Wall      float64 `json:"seconds_wall"`
+	// AllocsPerOp is the heap-allocation count of re-running the same cell
+	// on the warmed measurement shard (ReadMemStats delta over a second
+	// Measure call) — the arena's figure of merit at cluster scale.
+	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
 // TuneSearchLine times one autotuner search twice against an empty
@@ -198,7 +209,21 @@ func main() {
 	minCPUs := flag.Int("min-cpus", 0, "fail unless the host has at least this many CPUs (CI guard: the parallel sweep must not be skipped silently)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocations, not just live) to this file at exit")
+	only := flag.String("only", "", "comma-separated scenario filter (benchmark names, sweep, cluster, cluster_1024, cluster_10k, tune_search, serve); empty runs everything")
+	diff := flag.Bool("diff", false, "print per-metric deltas between two BENCH_sim.json files (old new) and exit")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "simbench: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(1)
+		}
+		if err := printDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *minCPUs > 0 && runtime.NumCPU() < *minCPUs {
 		fmt.Fprintf(os.Stderr, "simbench: host has %d CPU(s), -min-cpus %d: a single-core runner would skip the parallel sweep instead of measuring it\n",
@@ -236,7 +261,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:            "bench_sim/v6",
+		Schema:            "bench_sim/v7",
 		GoVersion:         runtime.Version(),
 		CPUs:              runtime.NumCPU(),
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
@@ -246,10 +271,37 @@ func main() {
 		BaselineHeapQueue: heapBaseline,
 	}
 
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, n := range strings.Split(*only, ",") {
+			if strings.TrimSpace(n) == name {
+				return true
+			}
+		}
+		return false
+	}
+
 	// testing.Benchmark self-calibrates to ~1s per scenario — short
 	// enough that even the CI smoke job runs the full micro set; -short
-	// only trims the sweep and search below.
-	run := func(name string, fn func(b *testing.B)) {
+	// only trims the sweep and search below. The many-core cells instead
+	// pin their iteration count (see the iters arguments): the integer
+	// allocs/op gate at 0 needs enough measured iterations that the slow
+	// tail of pool growth (fifo backing arrays, map buckets) divides away,
+	// which self-calibration on a fast host does not guarantee.
+	run := func(name string, iters string, fn func(b *testing.B)) {
+		if !want(name) {
+			return
+		}
+		if iters != "" {
+			testing.Init()
+			if err := flag.Set("test.benchtime", iters); err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				os.Exit(1)
+			}
+			defer flag.Set("test.benchtime", "1s")
+		}
 		r := testing.Benchmark(fn)
 		rep.Benchmarks = append(rep.Benchmarks, BenchLine{
 			Name:        name,
@@ -259,18 +311,31 @@ func main() {
 		})
 	}
 
-	run("memsim/copy_churn_64KiB", benchCopyChurn)
-	run("sim/schedule_fire", benchScheduleFire)
-	run("sim/park_wake", benchParkWake)
-	run("core/bcast_cell_64KiB", benchBcastCell)
-	run("core/bcast_cell_128", benchBcastCellManyCore(128))
-	run("core/bcast_cell_512", benchBcastCellManyCore(512))
+	run("memsim/copy_churn_64KiB", "", benchCopyChurn)
+	run("sim/schedule_fire", "", benchScheduleFire)
+	run("sim/park_wake", "", benchParkWake)
+	run("core/bcast_cell_64KiB", "", benchBcastCell)
+	run("core/bcast_cell_128", "2000x", benchBcastCellManyCore(128))
+	run("core/bcast_cell_512", "1000x", benchBcastCellManyCore(512))
 
-	rep.Sweep = measureSweep(*short)
-	rep.Cluster = measureCluster(*short)
-	rep.Cluster1024 = measureCluster1024(*short)
-	rep.TuneSearch = measureTuneSearch(*short)
-	rep.Serve = measureServe(*short)
+	if want("sweep") {
+		rep.Sweep = measureSweep(*short)
+	}
+	if want("cluster") {
+		rep.Cluster = measureCluster(*short)
+	}
+	if want("cluster_1024") {
+		rep.Cluster1024 = measureCluster1024(*short)
+	}
+	if want("cluster_10k") {
+		rep.Cluster10k = measureCluster10k()
+	}
+	if want("tune_search") {
+		rep.TuneSearch = measureTuneSearch(*short)
+	}
+	if want("serve") {
+		rep.Serve = measureServe(*short)
+	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -322,20 +387,20 @@ func writeMemProfile(path string) {
 func checkAgainst(cur, base *Report, tol float64) bool {
 	ok := true
 	// The copy/cache hot path, the event queue, and the steady-state
-	// Broadcast cell are pinned allocation-free: events come from the
-	// engine's slab, and Pending handles, cache entries, flows, OOB
-	// envelopes, and waiter records are all pooled. The 128/512-rank
-	// many-core cells can't amortize world-scale structure growth (proc
-	// slabs, queue buckets, per-rank maps) to zero within a run, so they
-	// get a sub-linear per-rank budget instead: well above today's
-	// measured 60/262 allocs/op, far below anything O(np·segments).
+	// Broadcast cells are pinned allocation-free: events come from the
+	// engine's slab, per-rank and component state from the engine's arena,
+	// and Pending handles, cache entries, flows, OOB envelopes, and waiter
+	// records are all pooled. Since the arena conversion the 128/512-rank
+	// many-core cells hold the same exact-0 pin as the small cell — they
+	// run on a reused shard with a pinned iteration count precisely so
+	// world-scale structure growth amortizes below one alloc per op.
 	for _, pin := range []struct {
 		name   string
 		budget int64
 	}{
 		{"memsim/copy_churn_64KiB", 0}, {"sim/schedule_fire", 0},
 		{"core/bcast_cell_64KiB", 0},
-		{"core/bcast_cell_128", 128}, {"core/bcast_cell_512", 512},
+		{"core/bcast_cell_128", 0}, {"core/bcast_cell_512", 0},
 	} {
 		found := false
 		for _, b := range cur.Benchmarks {
@@ -409,7 +474,78 @@ func checkAgainst(cur, base *Report, tol float64) bool {
 	} else {
 		fmt.Fprintln(os.Stderr, "simbench: check: cluster_1024 shapes differ (short/full), wall-clock comparison skipped")
 	}
+	if cur.Cluster10k.Nodes == base.Cluster10k.Nodes && cur.Cluster10k.Size == base.Cluster10k.Size {
+		compare("cluster_10k seconds_wall", cur.Cluster10k.Wall, base.Cluster10k.Wall)
+	} else {
+		fmt.Fprintln(os.Stderr, "simbench: check: cluster_10k shapes differ (old baseline?), wall-clock comparison skipped")
+	}
 	return ok
+}
+
+// printDiff loads two BENCH_sim.json files and prints per-metric deltas —
+// the `make bench-diff` view a reviewer reads next to a perf PR. It never
+// fails on regressions; that is -check's job.
+func printDiff(oldPath, newPath string) error {
+	load := func(p string) (*Report, error) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		r := &Report{}
+		if err := json.Unmarshal(data, r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		return r, nil
+	}
+	o, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	n, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	pct := func(ov, nv float64) string {
+		if ov <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(nv/ov-1))
+	}
+	fmt.Printf("# BENCH_sim diff: %s (%s) -> %s (%s)\n", oldPath, o.Schema, newPath, n.Schema)
+	oldBench := map[string]BenchLine{}
+	for _, b := range o.Benchmarks {
+		oldBench[b.Name] = b
+	}
+	for _, b := range n.Benchmarks {
+		ob, found := oldBench[b.Name]
+		if !found {
+			fmt.Printf("%-28s ns/op %12.0f  allocs/op %5d  (new scenario)\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		fmt.Printf("%-28s ns/op %12.0f -> %12.0f (%s)  allocs/op %5d -> %5d\n",
+			b.Name, ob.NsPerOp, b.NsPerOp, pct(ob.NsPerOp, b.NsPerOp), ob.AllocsPerOp, b.AllocsPerOp)
+	}
+	fmt.Printf("%-28s %12.4gs -> %12.4gs (%s)\n", "sweep sequential",
+		o.Sweep.Sequential, n.Sweep.Sequential, pct(o.Sweep.Sequential, n.Sweep.Sequential))
+	cluster := func(name string, oc, nc ClusterLine) {
+		if nc.NP == 0 {
+			return
+		}
+		fmt.Printf("%-28s wall %8.4gs -> %8.4gs (%s)  allocs/op %7d -> %7d  [np=%d]\n",
+			name, oc.Wall, nc.Wall, pct(oc.Wall, nc.Wall), oc.AllocsPerOp, nc.AllocsPerOp, nc.NP)
+	}
+	cluster("cluster", o.Cluster, n.Cluster)
+	cluster("cluster_1024", o.Cluster1024, n.Cluster1024)
+	cluster("cluster_10k", o.Cluster10k, n.Cluster10k)
+	if n.TuneSearch.Cells > 0 {
+		fmt.Printf("%-28s %12.4gx -> %12.4gx\n", "tune_search speedup", o.TuneSearch.Speedup, n.TuneSearch.Speedup)
+	}
+	if n.Serve.Requests > 0 {
+		fmt.Printf("%-28s p50 %.4gs -> %.4gs (%s)  p99 %.4gs -> %.4gs  hit %.4f -> %.4f\n",
+			"serve warm", o.Serve.WarmP50, n.Serve.WarmP50, pct(o.Serve.WarmP50, n.Serve.WarmP50),
+			o.Serve.WarmP99, n.Serve.WarmP99, o.Serve.WarmHitRate, n.Serve.WarmHitRate)
+	}
+	return nil
 }
 
 // benchCopyChurn is the end-to-end flow lifecycle under contention: each op
@@ -515,21 +651,42 @@ func benchBcastCell(b *testing.B) {
 
 // benchBcastCellManyCore is benchBcastCell at the ROADMAP's many-core
 // scale: one 64 KiB KNEM-Coll Broadcast across all 128 or 512 ranks of a
-// ManyCore node per op. These are the cells the bucketed event queue is
-// gated on — at 512 ranks every op pushes tens of thousands of events and
-// flow reprices through the engine.
+// ManyCore node per op. These are the cells the bucketed event queue and
+// the arena are gated on — at 512 ranks every op pushes tens of thousands
+// of events and flow reprices through the engine.
+//
+// Like the sharded sweep runner, the cell keeps one engine/net pair and
+// Resets it per invocation, so the reported allocs/op measures repeat
+// runs on a reused arena-backed shard — testing.Benchmark's calibration
+// pass doubles as shard warm-up.
 func benchBcastCellManyCore(cores int) func(b *testing.B) {
+	var (
+		m   *topology.Machine
+		eng *sim.Engine
+		net *memsim.Net
+	)
 	return func(b *testing.B) {
-		m := topology.ManyCore(cores)
+		if eng == nil {
+			m = topology.ManyCore(cores)
+			eng = sim.NewEngine()
+			net = memsim.New(eng, m, nil)
+		} else {
+			eng.Reset()
+			net.Reset(nil)
+		}
 		b.ReportAllocs()
 		_, _, err := mpi.Run(mpi.Options{
 			Machine: m,
 			BTL:     mpi.BTLSM,
 			SHM:     shm.Config{FragSize: 128 << 10},
 			Coll:    core.New,
+			Engine:  eng,
+			Net:     net,
 		}, func(r *mpi.Rank) {
 			buf := r.Alloc(64 << 10).Whole()
-			r.Bcast(buf, 0) // warm-up: fill the free lists
+			for i := 0; i < 64; i++ {
+				r.Bcast(buf, 0) // warm-up: fill the free lists
+			}
 			r.Barrier()
 			if r.ID() == 0 {
 				b.ResetTimer()
@@ -621,17 +778,36 @@ func measureCluster(short bool) ClusterLine {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
-	start := time.Now()
-	res, err := bench.Measure(bench.Config{
+	return runClusterCell(cl, op, size, nodes)
+}
+
+// runClusterCell runs one cluster cell twice through the measurement
+// harness: a cold run for the wall clock (shard construction included, as
+// a fresh process would pay it) and a repeat run on the now-warmed shard
+// whose ReadMemStats delta is the cell's allocs_per_op — the arena's
+// figure of merit at cluster scale.
+func runClusterCell(cl *topology.Cluster, op bench.Op, size int64, nodes int) ClusterLine {
+	cfg := bench.Config{
 		Machine: cl.Global, Comp: bench.Hier(cl), Op: op, Size: size, Iters: 1, OffCache: true,
-	})
+	}
+	start := time.Now()
+	res, err := bench.Measure(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
+	wall := time.Since(start).Seconds()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := bench.Measure(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	runtime.ReadMemStats(&after)
 	return ClusterLine{
 		Nodes: nodes, NP: cl.Global.NCores(), Op: string(op), Size: size,
-		Simulated: res.Seconds, Wall: time.Since(start).Seconds(),
+		Simulated: res.Seconds, Wall: wall,
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
 	}
 }
 
@@ -662,18 +838,35 @@ func measureCluster1024(short bool) ClusterLine {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
-	start := time.Now()
-	res, err := bench.Measure(bench.Config{
-		Machine: cl.Global, Comp: bench.Hier(cl), Op: op, Size: size, Iters: 1, OffCache: true,
+	return runClusterCell(cl, op, size, nodes)
+}
+
+// measureCluster10k is the ROADMAP's 10k-rank cluster point: eighty
+// 128-core nodes (10,240 ranks) behind one switch, one hierarchical
+// 64 KiB broadcast. It keeps the same shape in -short mode on purpose —
+// the cell exists to prove the full 10,240-rank run fits the CI smoke
+// budget, so shrinking it would defeat it.
+func measureCluster10k() ClusterLine {
+	nodes, op, size := 80, bench.OpBcast, int64(64*bench.KiB)
+	box := topology.Synthetic(topology.SyntheticSpec{
+		Boards: 1, SocketsPerBoard: 16, CoresPerSocket: 8,
+		BusBW: 35e9, LinkBW: 18e9,
+		CacheSize: 32 << 20, CachePortBW: 60e9,
+		Spec: topology.ManyCore(128).Spec,
 	})
+	cfg := topology.ClusterConfig{
+		Name:   "simbench10k",
+		Switch: &topology.SwitchSpec{Name: "tor", BW: 12e9, Lat: 2e-6},
+	}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, topology.NodeSpec{Name: fmt.Sprintf("n%d", i), Machine: "box"})
+	}
+	cl, err := topology.CompileCluster(cfg, func(string) (*topology.Machine, error) { return box, nil })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
-	return ClusterLine{
-		Nodes: nodes, NP: cl.Global.NCores(), Op: string(op), Size: size,
-		Simulated: res.Seconds, Wall: time.Since(start).Seconds(),
-	}
+	return runClusterCell(cl, op, size, nodes)
 }
 
 // serveBatch is the serving-tier reference batch: 64 cells (two

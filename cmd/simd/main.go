@@ -9,9 +9,10 @@
 // Usage:
 //
 //	simd -addr :8080                          # serve until SIGTERM
+//	simd -addr :8080 -warm-file warm.jsonl    # dump hot set on drain, preload on boot
 //	simd -decisions ig.json -machines big.machine -addr :8080
 //	simd -smoke                               # boot, verify, exit
-//	simd -selftest -concurrency 8 -reps 4     # load-test a fresh server
+//	simd -selftest -concurrency 8 -reps 4     # load-test, then assert a warm restart
 package main
 
 import (
@@ -20,10 +21,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -48,6 +51,7 @@ func main() {
 	lruSize := flag.Int("lru", 4096, "in-memory serving cache capacity, in cells")
 	decisionsPath := flag.String("decisions", "", "comma-separated tuned decision tables (JSON from `tune search`) applied to matching machines")
 	machinesPath := flag.String("machines", "", "comma-separated machine-description files served in addition to the built-in platforms")
+	warmFile := flag.String("warm-file", "", "persist the serving cache across restarts: preload entries on boot, write the hot set on drain")
 	smoke := flag.Bool("smoke", false, "boot on a random port, verify determinism and cache behaviour, print the smoke panel, exit")
 	selftest := flag.Bool("selftest", false, "boot on a random port, run the load-test harness, print its report as JSON, exit")
 	concurrency := flag.Int("concurrency", 8, "selftest: concurrent clients")
@@ -92,11 +96,11 @@ func main() {
 			fatal(err)
 		}
 	case *selftest:
-		if err := runSelftest(opts, *concurrency, *reps); err != nil {
+		if err := runSelftest(opts, *concurrency, *reps, *warmFile); err != nil {
 			fatal(err)
 		}
 	default:
-		if err := serveUntilSignal(*addr, opts, cached); err != nil {
+		if err := serveUntilSignal(*addr, opts, cached, *warmFile); err != nil {
 			fatal(err)
 		}
 	}
@@ -111,11 +115,21 @@ func splitNonEmpty(s string) []string {
 
 // serveUntilSignal runs the daemon until SIGINT/SIGTERM, then drains:
 // in-flight requests get up to 30s to finish before the listener dies.
-func serveUntilSignal(addr string, opts serve.Options, cached bool) error {
+// With a warm file, the serving cache is preloaded from it on boot and
+// its hot set written back after the drain completes.
+func serveUntilSignal(addr string, opts serve.Options, cached bool, warmFile string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: addr, Handler: serve.New(opts).Handler()}
+	api := serve.New(opts)
+	if warmFile != "" {
+		n, err := preloadWarm(api, warmFile)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simd: warm start: %d cells preloaded from %s\n", n, warmFile)
+	}
+	srv := &http.Server{Addr: addr, Handler: api.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "simd: serving on %s (cache %s)\n", addr, onOff(cached))
@@ -134,10 +148,65 @@ func serveUntilSignal(addr string, opts serve.Options, cached bool) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if warmFile != "" {
+		ents := api.WarmSnapshot()
+		if err := saveWarm(warmFile, ents); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simd: warm stop: %d cells written to %s\n", len(ents), warmFile)
+	}
 	if cached {
 		bench.ReportCacheCounts("simd")
 	}
 	return nil
+}
+
+// saveWarm writes the snapshot as JSON lines, atomically (temp + rename)
+// so a crash mid-write never truncates the previous warm set.
+func saveWarm(path string, ents []serve.WarmEntry) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".warm-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	for _, e := range ents {
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// preloadWarm seeds the server's serving cache from a warm file written
+// by a previous run's drain. A missing file is a cold start, not an
+// error; a malformed line is, so a corrupt file fails loudly instead of
+// silently serving a partial set.
+func preloadWarm(api *serve.Server, path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var ents []serve.WarmEntry
+	dec := json.NewDecoder(f)
+	for {
+		var e serve.WarmEntry
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return 0, fmt.Errorf("warm file %s: %v", path, err)
+		}
+		ents = append(ents, e)
+	}
+	return api.WarmPreload(ents), nil
 }
 
 func onOff(b bool) string {
@@ -147,16 +216,17 @@ func onOff(b bool) string {
 	return "off"
 }
 
-// bootLocal starts a server on a random loopback port and returns its base
-// URL plus a shutdown func.
-func bootLocal(opts serve.Options) (string, func(), error) {
+// bootLocal starts a server on a random loopback port and returns the
+// server, its base URL, and a shutdown func.
+func bootLocal(opts serve.Options) (*serve.Server, string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return nil, "", nil, err
 	}
-	srv := &http.Server{Handler: serve.New(opts).Handler()}
+	api := serve.New(opts)
+	srv := &http.Server{Handler: api.Handler()}
 	go srv.Serve(ln)
-	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+	return api, "http://" + ln.Addr().String(), func() { srv.Close() }, nil
 }
 
 // smokeSizes and smokeComps define the smoke batch — it must mirror
@@ -186,7 +256,7 @@ func smokeBatch() serve.BatchRequest {
 // stdout must byte-match `imb` on the same cells. Diagnostics go to
 // stderr; stdout carries only the panel.
 func runSmoke(opts serve.Options) error {
-	base, shutdown, err := bootLocal(opts)
+	_, base, shutdown, err := bootLocal(opts)
 	if err != nil {
 		return err
 	}
@@ -233,20 +303,79 @@ func runSmoke(opts serve.Options) error {
 }
 
 // runSelftest boots a throwaway server, drives the load harness against
-// it, and prints the report as JSON.
-func runSelftest(opts serve.Options, concurrency, reps int) error {
-	base, shutdown, err := bootLocal(opts)
+// it, and prints the report as JSON. It then exercises the warm-restart
+// path: the first server's hot set is dumped (to warmFile, or a temp file
+// when none was given), a second server preloads it, and the same batch
+// must be answered entirely from the preloaded LRU — zero misses.
+func runSelftest(opts serve.Options, concurrency, reps int, warmFile string) error {
+	api, base, shutdown, err := bootLocal(opts)
 	if err != nil {
 		return err
 	}
 	defer shutdown()
-	rep, err := serve.Load(context.Background(), serve.LoadOptions{
+	ctx := context.Background()
+	rep, err := serve.Load(ctx, serve.LoadOptions{
 		BaseURL: base, Request: smokeBatch(), Concurrency: concurrency, Repetitions: reps,
 	})
 	if err != nil {
 		return err
 	}
+
+	if warmFile == "" {
+		dir, err := os.MkdirTemp("", "simd-selftest-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		warmFile = filepath.Join(dir, "warm.jsonl")
+	}
+	if err := saveWarm(warmFile, api.WarmSnapshot()); err != nil {
+		return err
+	}
+	shutdown()
+
+	api2, base2, shutdown2, err := bootLocal(opts)
+	if err != nil {
+		return err
+	}
+	defer shutdown2()
+	n, err := preloadWarm(api2, warmFile)
+	if err != nil {
+		return err
+	}
+	if want := len(smokeBatch().Cells); n < want {
+		return fmt.Errorf("selftest: warm file preloaded %d cells, want >= %d", n, want)
+	}
+	warm, err := serve.Load(ctx, serve.LoadOptions{
+		BaseURL: base2, Request: smokeBatch(), Concurrency: concurrency, Repetitions: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("selftest warm restart: %v", err)
+	}
+	if warm.HitRate != 1.0 {
+		return fmt.Errorf("selftest: restart hit rate %v, want 1.0 (preloaded LRU must serve the whole batch)", warm.HitRate)
+	}
+	if misses := lruMisses(base2); misses != 0 {
+		return fmt.Errorf("selftest: restarted server took %d LRU misses, want 0", misses)
+	}
+	fmt.Fprintf(os.Stderr, "simd: warm restart: %d cells preloaded, hit rate 1.00, 0 LRU misses\n", n)
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// lruMisses fetches the server's LRU miss counter (-1 on error: the
+// caller treats any failure to read stats as an assertion failure).
+func lruMisses(base string) int64 {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return -1
+	}
+	return st.Cache.LRUMisses
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/mpi"
 	"repro/internal/shm"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/tune"
@@ -301,11 +302,12 @@ func MeasureCtx(ctx context.Context, cfg Config) (Result, error) {
 // simulate runs cfg's cell for real on a pooled engine shard. cfg must
 // already have NP and Iters defaulted and dec resolved.
 func simulate(ctx context.Context, cfg Config, dec *tune.Decider) (Result, error) {
-	perRank := make([]float64, cfg.NP)
 	stats := &trace.Stats{}
 	sh := acquireShard()
 	defer releaseShard(sh)
 	eng, net := sh.lease(cfg.Machine, stats)
+	// Carved after the lease so a warmed shard serves it from its arena.
+	perRank := sim.SlicesFor[float64](eng.Arena()).Make(cfg.NP)
 	if ctx.Done() != nil {
 		eng.SetInterrupt(ctx.Err)
 		defer eng.SetInterrupt(nil)
@@ -417,8 +419,9 @@ func prepare(r *mpi.Rank, cfg Config) opBufs {
 	case OpAlltoall, OpAlltoallv:
 		b.send = r.Alloc(p * cfg.Size).Whole()
 		b.recv = r.Alloc(p * cfg.Size).Whole()
-		b.counts = make([]int64, p)
-		b.displs = make([]int64, p)
+		i64 := sim.SlicesFor[int64](r.World().Engine().Arena())
+		b.counts = i64.Stale(int(p))
+		b.displs = i64.Stale(int(p))
 		for i := range b.counts {
 			b.counts[i] = cfg.Size
 			b.displs[i] = int64(i) * cfg.Size

@@ -31,12 +31,52 @@ var shardPool = sync.Pool{New: func() any {
 	return &shard{eng: sim.NewEngine(), nets: map[*topology.Machine]*memsim.Net{}}
 }}
 
+// ShardStats is the high-water resident footprint of the measurement
+// shards, aggregated at release time: how many cells pooled shards have
+// served and the largest arena any shard has grown — the daemon's
+// per-shard resident cost, surfaced in GET /v1/stats.
+type ShardStats struct {
+	Leases       int64 `json:"leases"`
+	ArenaBytes   int64 `json:"arena_bytes_high_water"`
+	ArenaPools   int   `json:"arena_slab_pools_high_water"`
+	ArenaObjects int64 `json:"arena_slab_objects_high_water"`
+}
+
+var (
+	shardStatsMu sync.Mutex
+	shardStats   ShardStats
+)
+
+// Shards returns the pool's aggregated high-water statistics.
+func Shards() ShardStats {
+	shardStatsMu.Lock()
+	defer shardStatsMu.Unlock()
+	return shardStats
+}
+
 // acquireShard leases a warmed shard (or builds the pool's next one).
 func acquireShard() *shard { return shardPool.Get().(*shard) }
 
 // releaseShard returns a shard after its cell completes. The state left
-// behind is dirty; lease resets it on next use.
-func releaseShard(s *shard) { shardPool.Put(s) }
+// behind is dirty; lease resets it on next use. The shard's arena
+// footprint — at its post-cell peak, before any rewind — folds into the
+// pool-wide high-water stats here.
+func releaseShard(s *shard) {
+	a := s.eng.Arena().Stats()
+	shardStatsMu.Lock()
+	shardStats.Leases++
+	if a.Bytes > shardStats.ArenaBytes {
+		shardStats.ArenaBytes = a.Bytes
+	}
+	if a.Pools > shardStats.ArenaPools {
+		shardStats.ArenaPools = a.Pools
+	}
+	if a.Objects > shardStats.ArenaObjects {
+		shardStats.ArenaObjects = a.Objects
+	}
+	shardStatsMu.Unlock()
+	shardPool.Put(s)
+}
 
 // lease readies the shard for one cell on machine m: the engine is reset,
 // and m's memory system is reset onto the cell's stats sink (or built on

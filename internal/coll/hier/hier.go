@@ -34,6 +34,7 @@ import (
 	"repro/internal/knem"
 	"repro/internal/memsim"
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -113,17 +114,49 @@ type Component struct {
 	leadRank []*mpi.CommRank
 }
 
+// build assembles the component from the engine's arena: the node/member
+// tables are CSR-style — one dense int backing carved into per-node
+// sub-slices in rank order — and the handle tables are dense
+// rank-indexed slices, so a warmed shard rebuilds the hierarchy without
+// heap allocations and node walks scan contiguous memory.
 func build(w *mpi.World, cl *topology.Cluster, cfg Config) *Component {
-	c := &Component{w: w, cl: cl, cfg: cfg, fb: cfg.Fallback(w)}
+	arena := w.Engine().Arena()
+	c := sim.SlabFor[Component](arena).Get()
+	c.w, c.cl, c.cfg = w, cl, cfg
+	c.fb = cfg.Fallback(w)
 	np := w.Size()
 	in := w.Knem().Injector()
 
-	members := make([][]int, cl.NNodes())
+	ints := sim.SlicesFor[int](arena)
+	nn := cl.NNodes()
+	counts := ints.Make(nn)
+	nodeIdx := ints.Stale(np)
 	for r := 0; r < np; r++ {
 		n := cl.NodeOfCore(w.Rank(r).Core().ID)
-		members[n] = append(members[n], r)
+		nodeIdx[r] = n
+		counts[n]++
 	}
-	c.nodeOf = make([]int, np)
+	members := sim.SlicesFor[[]int](arena).Make(nn)
+	backing := ints.Stale(np)
+	off := 0
+	for n := 0; n < nn; n++ {
+		members[n] = backing[off : off : off+counts[n]]
+		off += counts[n]
+	}
+	for r := 0; r < np; r++ {
+		members[nodeIdx[r]] = append(members[nodeIdx[r]], r)
+	}
+
+	populated := 0
+	for _, ms := range members {
+		if len(ms) > 0 {
+			populated++
+		}
+	}
+	c.nodes = sim.SlicesFor[[]int](arena).Make(populated)[:0]
+	c.leader = ints.Make(populated)[:0]
+	c.leadPos = ints.Make(populated)[:0]
+	c.nodeOf = ints.Stale(np)
 	for _, ms := range members {
 		if len(ms) == 0 {
 			continue
@@ -154,7 +187,7 @@ func build(w *mpi.World, cl *topology.Cluster, cfg Config) *Component {
 	// block, blocks in node order) lets gather/scatter/allgather address
 	// node extents directly in the global buffer.
 	c.contig = true
-	c.first = make([]int, len(c.nodes))
+	c.first = ints.Stale(len(c.nodes))
 	next := 0
 	for d, ms := range c.nodes {
 		c.first[d] = next
@@ -166,17 +199,16 @@ func build(w *mpi.World, cl *topology.Cluster, cfg Config) *Component {
 		}
 	}
 
-	c.nodeRank = make([]*mpi.CommRank, np)
-	c.leadRank = make([]*mpi.CommRank, np)
-	leaders := append([]int(nil), c.leader...)
-	leadComm := w.NewComm(leaders)
+	c.nodeRank = sim.SlicesFor[*mpi.CommRank](arena).Make(np)
+	c.leadRank = sim.SlicesFor[*mpi.CommRank](arena).Make(np)
+	leadComm := w.NewComm(c.leader)
 	for _, ms := range c.nodes {
 		nc := w.NewComm(ms)
 		for _, m := range ms {
 			c.nodeRank[m] = nc.Rank(w.Rank(m))
 		}
 	}
-	for _, l := range leaders {
+	for _, l := range c.leader {
 		c.leadRank[l] = leadComm.Rank(w.Rank(l))
 	}
 	return c

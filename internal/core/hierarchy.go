@@ -79,12 +79,10 @@ func (c *Component) bcastHierarchical(r *mpi.Rank, v memsim.View, root int) {
 // announcing each landed segment to its domain's leaves.
 func (c *Component) bcastLeader(r *mpi.Rank, v memsim.View, root, tag int, seg int64) {
 	me := r.ID()
-	var leaves []int
-	for _, m := range c.members[c.domainOf[me]] {
-		if m != me {
-			leaves = append(leaves, m)
-		}
-	}
+	// A non-root-domain leader is always its domain's first member (see
+	// leaderOf), so the leaves are simply the rest of the member table —
+	// no per-call slice build on the steady-state broadcast path.
+	leaves := c.members[c.domainOf[me]][1:]
 	msg, _ := r.RecvOOB(root, tag)
 	rootCk := c.cookieOf(msg).cookie
 

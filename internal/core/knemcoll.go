@@ -28,6 +28,7 @@ import (
 	"repro/internal/knem"
 	"repro/internal/memsim"
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/tune"
 )
 
@@ -142,6 +143,7 @@ type Component struct {
 	// single-threaded simulated world, so no locking is needed.
 	ckPool []*cookieMsg
 	sgPool []*segReady
+	psPool []*pendingSync
 }
 
 type pendingSync struct {
@@ -161,11 +163,14 @@ func (c *Component) drainPending(r *mpi.Rank) {
 	for i := 0; i < ps.nACKs; i++ {
 		r.RecvOOB(mpi.AnySource, ps.tag)
 	}
+	ck := ps.cookie
+	*ps = pendingSync{}
+	c.psPool = append(c.psPool, ps)
 	if c.faulty() {
-		c.destroyQuiet(r, ps.cookie)
+		c.destroyQuiet(r, ck)
 		return
 	}
-	c.mustDestroy(r, ps.cookie)
+	c.mustDestroy(r, ck)
 }
 
 // finishRoot either waits for the peers' ACKs and deregisters now (strict
@@ -176,7 +181,9 @@ func (c *Component) finishRoot(r *mpi.Rank, ck knem.Cookie, ackTag, nACKs int) {
 		// overwritten: overwriting would leak the old region and strand its
 		// unconsumed ACKs in the out-of-band queue.
 		c.drainPending(r)
-		c.pending[r.ID()] = &pendingSync{cookie: ck, tag: ackTag, nACKs: nACKs}
+		ps := c.newPending()
+		ps.cookie, ps.tag, ps.nACKs = ck, ackTag, nACKs
+		c.pending[r.ID()] = ps
 		return
 	}
 	for i := 0; i < nACKs; i++ {
@@ -188,6 +195,17 @@ func (c *Component) finishRoot(r *mpi.Rank, ck knem.Cookie, ackTag, nACKs int) {
 // FlushPending drains every deferred synchronization this rank still owes
 // (call before tearing down a world or asserting region counts).
 func (c *Component) FlushPending(r *mpi.Rank) { c.drainPending(r) }
+
+// newPending takes a pendingSync from the free list or allocates one.
+func (c *Component) newPending() *pendingSync {
+	if k := len(c.psPool); k > 0 {
+		ps := c.psPool[k-1]
+		c.psPool[k-1] = nil
+		c.psPool = c.psPool[:k-1]
+		return ps
+	}
+	return &pendingSync{}
+}
 
 // tunable reports whether every knob is at its default, i.e. whether a
 // world-level decision table may steer this component.
@@ -201,17 +219,46 @@ func (c *Config) tunable() bool {
 func New(w *mpi.World) mpi.Coll { return NewWithConfig(w, Config{}) }
 
 // NewWithConfig builds the component with explicit configuration.
+//
+// Components live in the engine's arena. The locality tables use one
+// dense CSR-style layout — domainOf plus per-domain member sub-slices
+// carved from a single int backing in rank order — so walking a domain's
+// members is a contiguous scan, and a warmed shard rebuilds the whole
+// component (envelope pools included) without heap allocations.
 func NewWithConfig(w *mpi.World, cfg Config) mpi.Coll {
 	if cfg.Decider == nil && cfg.tunable() {
 		cfg.Decider = w.Decider()
 	}
 	cfg.fill()
-	c := &Component{w: w, cfg: cfg, fb: cfg.Fallback(w), pending: make(map[int]*pendingSync)}
+	arena := w.Engine().Arena()
+	c := sim.SlabFor[Component](arena).Get()
+	c.w, c.cfg = w, cfg
+	c.fb = cfg.Fallback(w)
+	if c.pending == nil {
+		c.pending = make(map[int]*pendingSync)
+	} else {
+		clear(c.pending)
+	}
+	// ckPool, sgPool, psPool are kept: recycled envelopes stay valid.
+	np := w.Size()
 	nd := len(w.Machine().Domains)
-	c.members = make([][]int, nd)
-	for rank := 0; rank < w.Size(); rank++ {
+	ints := sim.SlicesFor[int](arena)
+	c.domainOf = ints.Stale(np)
+	counts := ints.Make(nd)
+	for rank := 0; rank < np; rank++ {
 		d := w.Rank(rank).Core().Domain.ID
-		c.domainOf = append(c.domainOf, d)
+		c.domainOf[rank] = d
+		counts[d]++
+	}
+	c.members = sim.SlicesFor[[]int](arena).Make(nd)
+	backing := ints.Stale(np)
+	off := 0
+	for d := 0; d < nd; d++ {
+		c.members[d] = backing[off : off : off+counts[d]]
+		off += counts[d]
+	}
+	for rank := 0; rank < np; rank++ {
+		d := c.domainOf[rank]
 		c.members[d] = append(c.members[d], rank)
 	}
 	return c

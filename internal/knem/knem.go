@@ -108,9 +108,26 @@ func (m *Module) SetInjector(in *fault.Injector) { m.inj = in }
 // Injector returns the attached fault injector, or nil.
 func (m *Module) Injector() *fault.Injector { return m.inj }
 
-// New attaches a module to a memory system.
+// New attaches a module to a memory system. Modules are carved from the
+// engine's arena: a warmed shard reuses the previous module slot with its
+// region and view free lists intact, so re-attaching for a repeat cell
+// allocates nothing.
 func New(net *memsim.Net) *Module {
-	return &Module{net: net, stats: net.Stats(), regions: make(map[Cookie]*Region)}
+	m := sim.SlabFor[Module](net.Engine().Arena()).Get()
+	m.net, m.stats = net, net.Stats()
+	m.next, m.inj = 0, nil
+	if m.regions == nil {
+		m.regions = make(map[Cookie]*Region)
+	} else if len(m.regions) > 0 {
+		// Regions left live by the previous run (leaked cookies) feed the
+		// free list; recycle order is map-random but Regions are
+		// indistinguishable once zeroed, so determinism is unaffected.
+		for c, r := range m.regions {
+			delete(m.regions, c)
+			m.freeRegion(r)
+		}
+	}
+	return m
 }
 
 // newRegion takes a Region from the pool (segs capacity preserved) or

@@ -43,14 +43,22 @@ type View struct {
 }
 
 // Alloc creates a buffer of size bytes homed on domain d. withData selects
-// a real backing array.
+// a real backing array. Buffers live in the engine's arena and are valid
+// until the engine's next Reset; a warmed shard hands out recycled slots
+// (with their backing arrays, zeroed) instead of heap allocations.
 func (n *Net) Alloc(d *topology.MemDomain, size int64, withData bool) *Buffer {
 	if size < 0 {
 		panic("memsim: negative allocation")
 	}
 	n.nextBuf++
-	b := &Buffer{ID: n.nextBuf, Domain: d, Size: size}
-	if withData {
+	b := n.bufSlab.Get()
+	b.ID, b.Domain, b.Size = n.nextBuf, d, size
+	if !withData {
+		b.Data = nil
+	} else if int64(cap(b.Data)) >= size {
+		b.Data = b.Data[:size]
+		clear(b.Data)
+	} else {
 		b.Data = make([]byte, size)
 	}
 	return b

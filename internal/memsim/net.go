@@ -61,10 +61,11 @@ type Net struct {
 	useMult  []float64
 	useOrder []int
 
-	flowPool  []*flow    // recycled flow objects, uses-capacity preserved
-	finished  []*flow    // onCompletion scratch
-	pendPool  []*Pending // recycled copy handles (blocking Copy only)
-	entryPool *entryPool // recycled cacheEntry nodes, shared by all groups
+	flowPool  []*flow           // recycled flow objects, uses-capacity preserved
+	finished  []*flow           // onCompletion scratch
+	pendPool  []*Pending        // recycled copy handles (blocking Copy only)
+	entryPool *entryPool        // recycled cacheEntry nodes, shared by all groups
+	bufSlab   *sim.Slab[Buffer] // arena-backed Alloc; survives Reset
 
 	// Interned routes: routeDom[vertex][domainID] and
 	// routeGroup[vertex][groupID] hold the PathToDomain/PathToGroup results
@@ -130,6 +131,7 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 		stats = &trace.Stats{}
 	}
 	n := &Net{eng: eng, mach: m, stats: stats, entryPool: &entryPool{}}
+	n.bufSlab = sim.SlabFor[Buffer](eng.Arena())
 	names := make([]string, len(m.Links))
 	for i, l := range m.Links {
 		names[i] = l.Name

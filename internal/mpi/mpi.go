@@ -11,6 +11,8 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/knem"
@@ -125,21 +127,28 @@ type Options struct {
 	Net    *memsim.Net
 }
 
-// World is one MPI job on one machine.
+// World is one MPI job on one machine. Worlds are carved from the
+// engine's arena (sim.SlabFor) and their rank table is one dense []Rank
+// from the same arena: a warmed shard rebuilds a world without heap
+// allocations, reusing the previous run's rank maps, OOB envelopes, and
+// transport state, and sequential-by-rank access walks contiguous
+// memory.
 type World struct {
 	eng      *sim.Engine
 	net      *memsim.Net
 	tr       *shm.Transport
 	kn       *knem.Module
-	ranks    []*Rank
+	ranks    []Rank
 	opts     Options
 	coll     Coll
+	body     func(r *Rank) // SPMD body for the current Run
 	nextComm int
 
 	// oobPool recycles the boxed OOB envelopes (SendOOB allocates one per
 	// message otherwise). The simulation is single-threaded, so a
 	// world-level pool shared by all ranks needs no locking; dispatch
-	// returns each envelope after copying its fields out.
+	// returns each envelope after copying its fields out. The pool
+	// survives arena recycling, so a reused world slot starts warm.
 	oobPool []*oobCtrl
 }
 
@@ -155,13 +164,7 @@ func NewWorld(opts Options) (*World, error) {
 	if opts.NP < 1 || opts.NP > opts.Machine.NCores() {
 		return nil, fmt.Errorf("mpi: NP=%d out of range for %d cores", opts.NP, opts.Machine.NCores())
 	}
-	if opts.Mapping == nil {
-		opts.Mapping = make([]int, opts.NP)
-		for i := range opts.Mapping {
-			opts.Mapping[i] = i
-		}
-	}
-	if len(opts.Mapping) != opts.NP {
+	if opts.Mapping != nil && len(opts.Mapping) != opts.NP {
 		return nil, fmt.Errorf("mpi: mapping length %d != NP %d", len(opts.Mapping), opts.NP)
 	}
 	if (opts.Engine == nil) != (opts.Net == nil) {
@@ -177,31 +180,44 @@ func NewWorld(opts Options) (*World, error) {
 	if opts.Timeline != nil {
 		net.SetTimeline(opts.Timeline)
 	}
-	cores := make([]*topology.Core, opts.NP)
-	seen := make(map[int]bool)
-	for i, c := range opts.Mapping {
-		if c < 0 || c >= opts.Machine.NCores() || seen[c] {
-			return nil, fmt.Errorf("mpi: bad core mapping %v", opts.Mapping)
+	arena := eng.Arena()
+	cores := sim.SlicesFor[*topology.Core](arena).Stale(opts.NP)
+	if opts.Mapping == nil {
+		// Identity mapping: valid by the NP range check above, no
+		// duplicate scan needed.
+		m := sim.SlicesFor[int](arena).Stale(opts.NP)
+		for i := range m {
+			m[i] = i
+			cores[i] = opts.Machine.Cores[i]
 		}
-		seen[c] = true
-		cores[i] = opts.Machine.Cores[c]
+		opts.Mapping = m
+	} else {
+		seen := make(map[int]bool, opts.NP)
+		for i, c := range opts.Mapping {
+			if c < 0 || c >= opts.Machine.NCores() || seen[c] {
+				return nil, fmt.Errorf("mpi: bad core mapping %v", opts.Mapping)
+			}
+			seen[c] = true
+			cores[i] = opts.Machine.Cores[c]
+		}
 	}
 	opts.SHM.WithData = opts.WithData
-	w := &World{
-		eng:      eng,
-		net:      net,
-		tr:       shm.New(net, cores, opts.SHM),
-		kn:       knem.New(net),
-		opts:     opts,
-		nextComm: 1, // 0 = the world component's tag space, 1 = WorldComm
-	}
+	w := sim.SlabFor[World](arena).Get()
+	w.eng, w.net = eng, net
+	w.tr = shm.New(net, cores, opts.SHM)
+	w.kn = knem.New(net)
+	w.opts = opts
+	w.coll, w.body = nil, nil
+	w.nextComm = 1 // 0 = the world component's tag space, 1 = WorldComm
+	// w.oobPool is kept: recycled envelopes stay valid across runs.
 	if !opts.Fault.Empty() {
 		inj := fault.NewInjector(*opts.Fault, eng, net.Stats(), opts.Timeline)
 		w.kn.SetInjector(inj)
 		net.SetLinkScaler(inj)
 	}
-	for i := 0; i < opts.NP; i++ {
-		w.ranks = append(w.ranks, newRank(w, i))
+	w.ranks = sim.SlicesFor[Rank](arena).Stale(opts.NP)
+	for i := range w.ranks {
+		initRank(&w.ranks[i], w, i)
 	}
 	if opts.Coll != nil {
 		w.coll = opts.Coll(w)
@@ -216,17 +232,40 @@ func Run(opts Options, body func(r *Rank)) (sim.Time, *World, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	for _, r := range w.ranks {
-		r := r
-		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
-			r.proc = p
-			body(r)
-		})
+	w.body = body
+	for i := range w.ranks {
+		w.eng.SpawnArg(rankName(i), runRankBody, &w.ranks[i])
 	}
 	if err := w.eng.Run(); err != nil {
 		return w.eng.Now(), w, err
 	}
 	return w.eng.Now(), w, nil
+}
+
+// runRankBody is the shared process body for every rank: SpawnArg applies
+// it to the rank handle, so a mass spawn allocates no per-rank closure.
+func runRankBody(p *sim.Proc, arg any) {
+	r := arg.(*Rank)
+	r.proc = p
+	r.w.body(r)
+}
+
+// rankNames interns the "rankN" process names once per program: repeat
+// cells on warmed shards respawn ranks without re-rendering names. The
+// table is shared by every concurrent sweep worker, hence the lock (the
+// simulation itself is single-threaded per engine).
+var (
+	rankNameMu sync.Mutex
+	rankNames  []string
+)
+
+func rankName(i int) string {
+	rankNameMu.Lock()
+	defer rankNameMu.Unlock()
+	for len(rankNames) <= i {
+		rankNames = append(rankNames, "rank"+strconv.Itoa(len(rankNames)))
+	}
+	return rankNames[i]
 }
 
 // Size returns the number of ranks.
@@ -258,7 +297,7 @@ func (w *World) Engine() *sim.Engine { return w.eng }
 func (w *World) Stats() *trace.Stats { return w.net.Stats() }
 
 // Rank returns rank i's handle (for cross-rank inspection in tests).
-func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+func (w *World) Rank(i int) *Rank { return &w.ranks[i] }
 
 // Coll returns the world's collective component.
 func (w *World) Coll() Coll { return w.coll }

@@ -35,16 +35,33 @@ type Rank struct {
 	collSeq    int64
 }
 
-func newRank(w *World, id int) *Rank {
-	return &Rank{
-		w:          w,
-		id:         id,
-		core:       w.tr.Core(id),
-		credits:    make(map[int]int),
-		sendSeq:    make(map[int]int64),
-		activeRecv: make(map[int64]*Request),
-		activeSend: make(map[int64]*Request),
+// initRank readies one slot of the world's dense rank table. Slots come
+// from the engine arena with the previous run's contents ("stale"), so
+// every field is reinitialized here — and the expensive ones are
+// recycled rather than rebuilt: the four p2p maps keep their buckets via
+// clear (reinsertion up to the high-water peer count allocates nothing),
+// and the queue slices keep their capacity.
+func initRank(r *Rank, w *World, id int) {
+	r.w, r.id, r.core = w, id, w.tr.Core(id)
+	r.proc = nil
+	clear(r.posted)
+	r.posted = r.posted[:0]
+	clear(r.unexpected)
+	r.unexpected = r.unexpected[:0]
+	clear(r.oobQ)
+	r.oobQ = r.oobQ[:0]
+	if r.credits == nil {
+		r.credits = make(map[int]int)
+		r.sendSeq = make(map[int]int64)
+		r.activeRecv = make(map[int64]*Request)
+		r.activeSend = make(map[int64]*Request)
+	} else {
+		clear(r.credits)
+		clear(r.sendSeq)
+		clear(r.activeRecv)
+		clear(r.activeSend)
 	}
+	r.nextReq, r.collSeq = 0, 0
 }
 
 // ID returns the rank number in [0, Size).

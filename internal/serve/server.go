@@ -101,6 +101,32 @@ func New(opts Options) *Server {
 // Handler returns the HTTP handler serving the /v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// WarmEntry is one persisted serving-cache cell: the content-addressed
+// cell key and its simulated seconds. A daemon dumps its hot set as warm
+// entries on drain and preloads them on the next boot, so a restart
+// starts with yesterday's working set already resident instead of paying
+// a cold LRU.
+type WarmEntry struct {
+	Key     string  `json:"key"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WarmSnapshot returns the serving cache's resident entries, sorted by
+// key (so dumps of the same hot set are byte-identical).
+func (s *Server) WarmSnapshot() []WarmEntry { return s.store.snapshot() }
+
+// WarmPreload seeds the serving cache from a previous run's snapshot and
+// reports how many entries were loaded. Entries are inserted in order, so
+// if the snapshot exceeds the cache's capacity the later (higher-keyed)
+// entries win. Determinism is unaffected: a warm entry holds exactly the
+// seconds the simulator would recompute for its key.
+func (s *Server) WarmPreload(entries []WarmEntry) int {
+	for _, e := range entries {
+		s.store.put(e.Key, e.Seconds)
+	}
+	return len(entries)
+}
+
 // CellSpec is one requested measurement cell. Zero NP and Iters take the
 // measurement harness defaults (all cores, 3 iterations); responses echo
 // the effective values so identical work is always described identically.
@@ -180,9 +206,13 @@ type StatsResponse struct {
 	Sweeps        int64      `json:"sweep_requests"`
 	Decisions     int64      `json:"decision_requests"`
 	Cache         CacheStats `json:"cache"`
-	BatchLatency  HistStats  `json:"batch_latency"`
-	CellLatency   HistStats  `json:"cell_latency"`
-	SimLatency    HistStats  `json:"sim_latency"`
+	// Shards is the measurement-shard pool's high-water footprint (arena
+	// bytes and slab counts) — the resident cost a warm simulation worker
+	// holds between cells.
+	Shards       bench.ShardStats `json:"shards"`
+	BatchLatency HistStats        `json:"batch_latency"`
+	CellLatency  HistStats        `json:"cell_latency"`
+	SimLatency   HistStats        `json:"sim_latency"`
 }
 
 // compsByName is the closed set of components a request may name.
@@ -477,6 +507,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			LRULen: s.store.len(), LRUCap: s.opts.LRUSize,
 			SimHits: simHits, SimMisses: simMisses, SimDeduped: bench.DedupedCount(),
 		},
+		Shards:       bench.Shards(),
 		BatchLatency: s.histBatch.stats(),
 		CellLatency:  s.histCell.stats(),
 		SimLatency:   s.histSim.stats(),

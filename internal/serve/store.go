@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -105,4 +106,21 @@ func (s *store) len() int {
 // counts returns the hit/miss counters.
 func (s *store) counts() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// snapshot returns every resident entry, sorted by key so dumps of the
+// same hot set are byte-identical regardless of shard hashing or recency.
+func (s *store) snapshot() []WarmEntry {
+	var out []WarmEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.l.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*storeEnt)
+			out = append(out, WarmEntry{Key: e.key, Seconds: e.seconds})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
 }

@@ -88,19 +88,32 @@ type delivery struct {
 
 // New creates a transport with one endpoint per core in cores. The cores
 // define where each endpoint executes and where its pair segments live.
+//
+// Transports are carved from the engine's arena: a warmed shard reuses
+// the previous run's transport slot, mailbox channels (buckets, buffers,
+// and waiter pools intact), delivery records, and pair FIFOs, so
+// rebuilding the fabric for a repeat cell allocates nothing.
 func New(net *memsim.Net, cores []*topology.Core, cfg Config) *Transport {
 	cfg.fill()
-	t := &Transport{
-		Cfg:   cfg,
-		net:   net,
-		stats: net.Stats(),
-		cores: cores,
-		pairs: make(map[[2]int]*Pair),
+	arena := net.Engine().Arena()
+	t := sim.SlabFor[Transport](arena).Get()
+	t.Cfg, t.net, t.stats, t.cores = cfg, net, net.Stats(), cores
+	if t.pairs == nil {
+		t.pairs = make(map[[2]int]*Pair)
+	} else {
+		clear(t.pairs)
 	}
 	t.hasLat = net.Machine().HasLatency()
-	t.deliverFn = t.deliver
-	for range cores {
-		t.mail = append(t.mail, sim.NewChan[Msg](net.Engine(), 1<<30))
+	if t.deliverFn == nil {
+		t.deliverFn = t.deliver // built once per slot; t is recycled in place
+	}
+	// t.dpool is kept: recycled delivery records stay valid.
+	t.mail = sim.SlicesFor[*sim.Chan[Msg]](arena).Make(len(cores))
+	chans := sim.SlabFor[sim.Chan[Msg]](arena)
+	for i := range t.mail {
+		ch := chans.Get()
+		sim.ReinitChan(ch, net.Engine(), 1<<30)
+		t.mail[i] = ch
 	}
 	return t
 }
@@ -175,14 +188,24 @@ type Pair struct {
 }
 
 // Pair returns (creating lazily) the FIFO for messages from -> to. The
-// backing segment is allocated on the receiver's memory domain.
+// backing segment is allocated on the receiver's memory domain. Pair
+// slots are arena-recycled like the transport itself; each slot owns its
+// semaphore for good.
 func (t *Transport) Pair(from, to int) *Pair {
 	key := [2]int{from, to}
 	if pr, ok := t.pairs[key]; ok {
 		return pr
 	}
 	seg := t.net.Alloc(t.cores[to].Domain, int64(t.Cfg.Depth)*t.Cfg.FragSize, t.Cfg.WithData)
-	pr := &Pair{tr: t, free: sim.NewSemaphore(t.Cfg.Depth)}
+	pr := sim.SlabFor[Pair](t.net.Engine().Arena()).Get()
+	pr.tr = t
+	if pr.free == nil {
+		pr.free = sim.NewSemaphore(t.Cfg.Depth)
+	} else {
+		sim.ReinitSemaphore(pr.free, t.Cfg.Depth)
+	}
+	pr.slots = pr.slots[:0]
+	pr.nextIn, pr.nextOut = 0, 0
 	for i := 0; i < t.Cfg.Depth; i++ {
 		pr.slots = append(pr.slots, seg.View(int64(i)*t.Cfg.FragSize, t.Cfg.FragSize))
 	}

@@ -1,0 +1,206 @@
+package sim
+
+import "reflect"
+
+// Arena is a per-engine slab allocator for per-run state. Everything the
+// higher layers (mpi worlds, transports, collective components, buffers)
+// build for one simulation run is carved from typed pools owned by the
+// engine, and Engine.Reset rewinds every pool to empty while keeping its
+// backing memory. A warmed shard therefore rebuilds a cell's whole
+// per-rank state — rank tables, mailboxes, component tables, buffer
+// headers — without touching the heap: the second cell on a shard gets
+// the first cell's memory back, chunk-contiguous and index-addressed, so
+// construction is allocation-free up to the shard's high-water mark and
+// sequential-by-rank access walks dense arrays instead of chasing
+// scattered pointers.
+//
+// Two pool shapes cover the consumers:
+//
+//   - Slab[T] hands out *T object slots carved from fixed-size chunks.
+//     Rewound slots are handed out again with their previous contents
+//     intact ("stale"), so a consumer that reinitializes every scalar
+//     field can keep the expensive parts — maps keep their buckets via
+//     clear(), slices keep their capacity via [:0], sub-pools keep their
+//     free lists.
+//
+//   - Slices[T] is a bump allocator for dense arrays ([]Rank, []int
+//     tables, []float64 scratch). Make returns a zeroed slice; Stale
+//     returns the region as-is for consumers that overwrite (or
+//     reinitialize) every element and want to recycle element-owned
+//     state across runs.
+//
+// Ownership contract: an arena allocation is valid until the owning
+// engine's next Reset, and its contents may be recycled afterwards.
+// Persistent structures that survive Reset (the memory system's caches,
+// interned routes, stats sinks) must therefore never retain arena
+// pointers past the reset boundary — in the sharded sweep runner the
+// engine is Reset at lease time, before the leased Net is, so the only
+// window in which a Net still references dead arena objects is one in
+// which nothing runs.
+//
+// An Arena belongs to one engine and, like the engine, is confined to a
+// single goroutine at a time; it needs and takes no locks.
+type Arena struct {
+	pools map[reflect.Type]any // *Slab[T] or *Slices[T], keyed by T
+	order []arenaPool          // rewind/stats order (registration order)
+}
+
+// arenaPool is the untyped surface of one typed pool.
+type arenaPool interface {
+	rewind()
+	footprint() (bytes int64, objects int64)
+}
+
+// ArenaStats summarizes an arena's retained footprint: the bytes of
+// backing memory its pools keep across resets, the number of typed pools
+// registered, and the high-water object/element count handed out by any
+// single run. The bench shard layer aggregates these across the shard
+// pool so a daemon's resident cost per shard is observable.
+type ArenaStats struct {
+	Bytes   int64
+	Pools   int
+	Objects int64
+}
+
+func newArena() *Arena {
+	return &Arena{pools: make(map[reflect.Type]any)}
+}
+
+// rewind returns every pool to empty, keeping backing memory.
+func (a *Arena) rewind() {
+	for _, p := range a.order {
+		p.rewind()
+	}
+}
+
+// Stats reports the arena's retained footprint.
+func (a *Arena) Stats() ArenaStats {
+	st := ArenaStats{Pools: len(a.order)}
+	for _, p := range a.order {
+		b, o := p.footprint()
+		st.Bytes += b
+		st.Objects += o
+	}
+	return st
+}
+
+// Arena returns the engine's arena, creating it on first use. Its pools
+// are rewound by Engine.Reset.
+func (e *Engine) Arena() *Arena {
+	if e.arena == nil {
+		e.arena = newArena()
+	}
+	return e.arena
+}
+
+// slabChunk is the number of T slots carved per backing chunk: large
+// enough that sequential-by-index access is effectively contiguous,
+// small enough that a low-water type wastes little.
+const slabChunk = 256
+
+// Slab is a typed object pool. Get hands out slots in deterministic
+// order; rewinding (Engine.Reset) hands the same slots out again in the
+// same order with their previous contents intact. Callers must therefore
+// reinitialize every field they read — and get to keep field-owned state
+// (map buckets, slice capacity, free lists) warm across runs.
+type Slab[T any] struct {
+	chunks [][]T
+	used   int
+	high   int
+}
+
+// SlabFor returns the arena's slab for type T, creating it on first use.
+func SlabFor[T any](a *Arena) *Slab[T] {
+	t := reflect.TypeFor[T]()
+	if p, ok := a.pools[t]; ok {
+		return p.(*Slab[T])
+	}
+	s := &Slab[T]{}
+	a.pools[t] = s
+	a.order = append(a.order, s)
+	return s
+}
+
+// Get returns the next slot. Its contents are whatever the slot held
+// when the arena was last rewound ("stale"): zero on first use, the
+// previous run's object afterwards.
+func (s *Slab[T]) Get() *T {
+	ci, cj := s.used/slabChunk, s.used%slabChunk
+	if ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, slabChunk))
+	}
+	s.used++
+	if s.used > s.high {
+		s.high = s.used
+	}
+	return &s.chunks[ci][cj]
+}
+
+func (s *Slab[T]) rewind() { s.used = 0 }
+
+func (s *Slab[T]) footprint() (int64, int64) {
+	var t T
+	size := int64(reflect.TypeOf(&t).Elem().Size())
+	return int64(len(s.chunks)) * slabChunk * size, int64(s.high)
+}
+
+// Slices is a typed bump allocator for dense arrays. One backing array
+// serves every Make/Stale call of a run; rewinding resets the offset so
+// the next run reuses the same memory. A run that outgrows the backing
+// array gets a larger one (earlier slices of the run stay valid on the
+// old array); the high-water capacity is kept from then on.
+type Slices[T any] struct {
+	buf  []T
+	off  int
+	high int
+}
+
+// SlicesFor returns the arena's bump allocator for []T, creating it on
+// first use. It shares the type registry with SlabFor: use distinct
+// element types (or one shape per type) per consumer.
+func SlicesFor[T any](a *Arena) *Slices[T] {
+	t := reflect.TypeFor[[]T]()
+	if p, ok := a.pools[t]; ok {
+		return p.(*Slices[T])
+	}
+	s := &Slices[T]{}
+	a.pools[t] = s
+	a.order = append(a.order, s)
+	return s
+}
+
+// Make returns a zeroed length-n slice with exact capacity.
+func (s *Slices[T]) Make(n int) []T {
+	v := s.Stale(n)
+	clear(v)
+	return v
+}
+
+// Stale returns a length-n slice with exact capacity and unspecified
+// (previous-run) contents. Use it when every element is overwritten or
+// reinitialized anyway, to recycle element-owned state (a dense []Rank
+// keeps each rank's map buckets warm this way).
+func (s *Slices[T]) Stale(n int) []T {
+	if s.off+n > len(s.buf) {
+		c := 2 * len(s.buf)
+		if c < s.off+n {
+			c = s.off + n
+		}
+		s.buf = make([]T, c)
+		s.off = 0
+	}
+	v := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	if s.off > s.high {
+		s.high = s.off
+	}
+	return v
+}
+
+func (s *Slices[T]) rewind() { s.off = 0 }
+
+func (s *Slices[T]) footprint() (int64, int64) {
+	var t T
+	size := int64(reflect.TypeOf(&t).Elem().Size())
+	return int64(len(s.buf)) * size, int64(s.high)
+}

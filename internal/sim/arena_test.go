@@ -1,0 +1,201 @@
+package sim
+
+import "testing"
+
+type arenaObj struct {
+	id int
+	m  map[string]int
+}
+
+func TestSlabStaleReuseAcrossRewind(t *testing.T) {
+	e := NewEngine()
+	a := e.Arena()
+	s := SlabFor[arenaObj](a)
+
+	first := make([]*arenaObj, 10)
+	for i := range first {
+		o := s.Get()
+		if o.id != 0 || o.m != nil {
+			t.Fatalf("slot %d not zero on first use: %+v", i, *o)
+		}
+		o.id = i + 1
+		o.m = map[string]int{"k": i}
+		first[i] = o
+	}
+
+	e.Reset()
+
+	for i := range first {
+		o := s.Get()
+		if o != first[i] {
+			t.Fatalf("slot %d: rewound slab handed out different pointer", i)
+		}
+		if o.id != i+1 || o.m["k"] != i {
+			t.Fatalf("slot %d: stale contents lost: %+v", i, *o)
+		}
+	}
+}
+
+func TestSlabSameTypeSharedDifferentTypeDistinct(t *testing.T) {
+	a := NewEngine().Arena()
+	if SlabFor[arenaObj](a) != SlabFor[arenaObj](a) {
+		t.Fatal("SlabFor returned distinct pools for the same type")
+	}
+	st := a.Stats()
+	if st.Pools != 1 {
+		t.Fatalf("Pools = %d, want 1", st.Pools)
+	}
+	SlabFor[int64](a)
+	if got := a.Stats().Pools; got != 2 {
+		t.Fatalf("Pools after second type = %d, want 2", got)
+	}
+}
+
+func TestSlabChunkGrowth(t *testing.T) {
+	e := NewEngine()
+	s := SlabFor[int](e.Arena())
+
+	n := 3*slabChunk + 7
+	ptrs := make([]*int, n)
+	for i := range ptrs {
+		ptrs[i] = s.Get()
+		*ptrs[i] = i
+	}
+	// Crossing a chunk boundary must not move earlier slots.
+	for i, p := range ptrs {
+		if *p != i {
+			t.Fatalf("slot %d clobbered after growth: got %d", i, *p)
+		}
+	}
+
+	e.Reset()
+	for i := 0; i < n; i++ {
+		if p := s.Get(); p != ptrs[i] {
+			t.Fatalf("slot %d: different pointer after rewind past chunk boundary", i)
+		}
+	}
+}
+
+func TestSlicesMakeZeroedStaleRecycled(t *testing.T) {
+	e := NewEngine()
+	sl := SlicesFor[int](e.Arena())
+
+	v := sl.Make(8)
+	for i := range v {
+		v[i] = i + 100
+	}
+
+	e.Reset()
+
+	// Stale hands the same region back with the previous run's contents.
+	w := sl.Stale(8)
+	if &w[0] != &v[0] {
+		t.Fatal("Stale after rewind did not reuse the backing region")
+	}
+	for i := range w {
+		if w[i] != i+100 {
+			t.Fatalf("Stale[%d] = %d, want %d", i, w[i], i+100)
+		}
+	}
+
+	e.Reset()
+
+	// Make hands the same region back zeroed.
+	z := sl.Make(8)
+	if &z[0] != &v[0] {
+		t.Fatal("Make after rewind did not reuse the backing region")
+	}
+	for i, x := range z {
+		if x != 0 {
+			t.Fatalf("Make[%d] = %d, want 0", i, x)
+		}
+	}
+}
+
+func TestSlicesExactCapNoNeighborClobber(t *testing.T) {
+	sl := SlicesFor[int](NewEngine().Arena())
+	a := sl.Make(4)
+	b := sl.Make(4)
+	if cap(a) != 4 || cap(b) != 4 {
+		t.Fatalf("caps = %d, %d, want 4, 4", cap(a), cap(b))
+	}
+	// Appending past a's cap must reallocate, not overwrite b.
+	b[0] = 42
+	a = append(a, 99)
+	if b[0] != 42 {
+		t.Fatalf("append past cap clobbered the next allocation: b[0] = %d", b[0])
+	}
+	_ = a
+}
+
+func TestSlicesGrowthKeepsEarlierSlicesValid(t *testing.T) {
+	sl := SlicesFor[int](NewEngine().Arena())
+	a := sl.Make(4)
+	a[0] = 7
+	// Outgrow the backing array mid-run: a stays valid on the old array.
+	b := sl.Make(1 << 16)
+	if a[0] != 7 {
+		t.Fatalf("earlier slice invalidated by growth: a[0] = %d", a[0])
+	}
+	if len(b) != 1<<16 {
+		t.Fatalf("len(b) = %d", len(b))
+	}
+}
+
+func TestArenaStatsHighWater(t *testing.T) {
+	e := NewEngine()
+	a := e.Arena()
+	s := SlabFor[int64](a)
+	sl := SlicesFor[float64](a)
+
+	for i := 0; i < 10; i++ {
+		s.Get()
+	}
+	sl.Make(100)
+
+	st := a.Stats()
+	if st.Pools != 2 {
+		t.Fatalf("Pools = %d, want 2", st.Pools)
+	}
+	if st.Objects != 110 {
+		t.Fatalf("Objects = %d, want 110", st.Objects)
+	}
+	// One int64 chunk plus the float64 backing array.
+	wantBytes := int64(slabChunk*8 + 100*8)
+	if st.Bytes != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+
+	// A smaller second run keeps the high-water object count.
+	e.Reset()
+	s.Get()
+	sl.Make(10)
+	if got := a.Stats().Objects; got != 110 {
+		t.Fatalf("Objects after smaller run = %d, want high-water 110", got)
+	}
+}
+
+func TestArenaZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	a := e.Arena()
+	s := SlabFor[arenaObj](a)
+	sl := SlicesFor[int](a)
+
+	// Warm to high-water.
+	for i := 0; i < 100; i++ {
+		s.Get()
+	}
+	sl.Make(1000)
+	e.Reset()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			s.Get()
+		}
+		sl.Stale(1000)
+		e.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm arena run allocated %v times, want 0", allocs)
+	}
+}

@@ -110,6 +110,8 @@ type Engine struct {
 
 	procPool []*Proc // finished processes parked by Reset for respawning
 
+	arena *Arena // per-run slab pools, rewound by Reset (see arena.go)
+
 	deferred []func() // end-of-instant callbacks (Defer), FIFO
 
 	fired     int64
@@ -365,10 +367,14 @@ func (e *Engine) Reset() {
 		panic("sim: Reset while running")
 	}
 	e.q.reset()
+	if e.arena != nil {
+		e.arena.rewind()
+	}
 	for i, p := range e.procs {
 		if p.state == procDone {
 			p.name, p.blockReason = "", ""
-			p.fn, p.next, p.stop, p.yield = nil, nil, nil, nil
+			p.fn, p.argFn, p.arg = nil, nil, nil
+			p.next, p.stop, p.yield = nil, nil, nil
 			e.procPool = append(e.procPool, p)
 		}
 		e.procs[i] = nil

@@ -13,6 +13,17 @@ type fifo[T any] struct {
 
 func (q *fifo[T]) len() int { return len(q.items) - q.head }
 
+// reset empties the queue, zeroing live slots to release references while
+// keeping the backing array.
+func (q *fifo[T]) reset() {
+	var zero T
+	for i := q.head; i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+	q.head = 0
+}
+
 func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
 
 func (q *fifo[T]) peek() T { return q.items[q.head] }

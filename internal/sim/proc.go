@@ -29,7 +29,12 @@ type Proc struct {
 	name        string
 	state       procState
 	blockReason string
-	fn          func(p *Proc) // body for the current spawn
+	fn          func(p *Proc) // body for the current spawn (Spawn)
+	// argFn/arg are the SpawnArg form of the body: a persistent function
+	// applied to per-spawn state, so spawning n processes over one shared
+	// body (the MPI runtime's rank loop) allocates no per-spawn closure.
+	argFn func(p *Proc, arg any)
+	arg   any
 
 	// next resumes the coroutine until it parks or the body returns; stop
 	// resumes it with yield reporting false, which Park converts into a
@@ -90,14 +95,30 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 				}
 			}()
 			p.state = procRunning
-			p.fn(p)
+			if p.argFn != nil {
+				p.argFn(p, p.arg)
+			} else {
+				p.fn(p)
+			}
 		}
 	}
 	p.name, p.fn = name, fn
+	p.argFn, p.arg = nil, nil
 	p.next, p.stop = iter.Pull(p.bodyFn)
 	e.procs = append(e.procs, p)
 	e.live++
 	e.ScheduleOwned(0, p.startFn)
+	return p
+}
+
+// SpawnArg is Spawn for hot construction paths: fn(p, arg) runs as the
+// process body. Passing a persistent fn and per-spawn state in arg keeps
+// a mass spawn (one process per MPI rank) free of per-spawn closures; the
+// coroutine handle is the only allocation left.
+func (e *Engine) SpawnArg(name string, fn func(p *Proc, arg any), arg any) *Proc {
+	p := e.Spawn(name, nil)
+	p.fn = nil
+	p.argFn, p.arg = fn, arg
 	return p
 }
 

@@ -29,6 +29,21 @@ func NewChan[T any](e *Engine, capacity int) *Chan[T] {
 	return &Chan[T]{eng: e, cap: capacity}
 }
 
+// ReinitChan readies a recycled channel (typically a stale Slab slot) for
+// a new run: buffered elements and waiter queues are dropped — their
+// processes are gone — while the waiter free list and every backing
+// array keep their capacity. A reinitialized channel is observably
+// identical to NewChan(e, capacity).
+func ReinitChan[T any](c *Chan[T], e *Engine, capacity int) {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	c.eng, c.cap = e, capacity
+	c.buf.reset()
+	c.sendQ.reset()
+	c.recvQ.reset()
+}
+
 // newWaiter takes a waiter from the pool or allocates one.
 func (c *Chan[T]) newWaiter() *chanWaiter[T] {
 	if k := len(c.wpool); k > 0 {
@@ -148,6 +163,16 @@ func NewSemaphore(initial int) *Semaphore {
 		panic("sim: negative semaphore count")
 	}
 	return &Semaphore{count: initial}
+}
+
+// ReinitSemaphore readies a recycled semaphore for a new run: the count
+// is restored and stale waiters dropped, keeping the queue's capacity.
+func ReinitSemaphore(s *Semaphore, initial int) {
+	if initial < 0 {
+		panic("sim: negative semaphore count")
+	}
+	s.count = initial
+	s.waitQ.reset()
 }
 
 // Acquire takes n units, blocking p until they are available.
