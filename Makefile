@@ -118,13 +118,23 @@ cluster-smoke:
 # cells must keep the tables byte-identical at every parallelism level.
 # Then run the 10,240-rank cluster cell once under the CPU profiler (the
 # arena-backed construction path at its largest scale) and assert the
-# profile landed non-empty.
+# profile landed non-empty. Finally exercise intra-cell parallelism both
+# ways: the rendered cluster4 sweep must be byte-identical with the
+# partitioned executor on and off, and the cluster_10k_intra cell must
+# report bit-identical serial/parallel results (its recorded speedup
+# lands in the smoke log via the JSON).
 scale-smoke:
 	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 1 -no-cache > /tmp/scale-smoke-a.txt
 	$(GO) run -race ./cmd/imb -machine MC512 -comps KNEM-Coll,Tuned-SM -op bcast -sizes 64K -iters 1 -parallel 4 -no-cache > /tmp/scale-smoke-b.txt
 	cmp /tmp/scale-smoke-a.txt /tmp/scale-smoke-b.txt
 	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -only cluster_10k -cpuprofile /tmp/scale-smoke-10k.pprof -o /tmp/scale-smoke-10k.json
 	test -s /tmp/scale-smoke-10k.pprof
+	$(GO) run ./cmd/imb -cluster machines/cluster4.cluster -op bcast -sizes 64K -iters 1 -no-cache -intra-parallel=false > /tmp/scale-smoke-c.txt
+	$(GO) run ./cmd/imb -cluster machines/cluster4.cluster -op bcast -sizes 64K -iters 1 -no-cache -intra-parallel=true > /tmp/scale-smoke-d.txt
+	cmp /tmp/scale-smoke-c.txt /tmp/scale-smoke-d.txt
+	$(GO) run ./cmd/simbench $(SIMBENCH_FLAGS) -only cluster_10k_intra -o /tmp/scale-smoke-intra.json
+	grep -q '"identical": true' /tmp/scale-smoke-intra.json
+	grep -A 10 '"cluster_10k_intra"' /tmp/scale-smoke-intra.json
 
 # Serving smoke: boot the simd daemon on a random port against a fresh
 # cache directory and run its built-in contract check — the same batch

@@ -58,6 +58,11 @@ type Comp struct {
 	// fill it; a Comp assembled by hand may leave it empty, which opts
 	// its cells out of the cache.
 	Key string
+	// Cluster is set by Hier/HierCfg: the compiled cluster the component
+	// runs over. The harness uses it to scope cache coherence to nodes
+	// (memsim coherence islands) and to partition the cell for intra-cell
+	// parallel execution. Nil for single-machine components.
+	Cluster *topology.Cluster
 }
 
 // PaperComponents returns the five configurations of Figures 5-8, in the
@@ -140,8 +145,9 @@ func HierCfg(cl *topology.Cluster, cfg hier.Config) Comp {
 	}
 	return Comp{
 		Name: name, BTL: mpi.BTLSM,
-		New: hier.NewWithConfig(cl, cfg),
-		Key: hierCfgKey(cfg),
+		New:     hier.NewWithConfig(cl, cfg),
+		Key:     hierCfgKey(cfg),
+		Cluster: cl,
 	}
 }
 
@@ -299,13 +305,35 @@ func MeasureCtx(ctx context.Context, cfg Config) (Result, error) {
 	return res, err
 }
 
-// simulate runs cfg's cell for real on a pooled engine shard. cfg must
-// already have NP and Iters defaulted and dec resolved.
+// simulate runs cfg's cell for real on a pooled engine shard, choosing
+// intra-cell parallel execution when the cell is inside the proven
+// envelope (parallelEligible) and the package toggle allows it. The two
+// modes produce byte-identical results — same Seconds, same Stats — so
+// the choice is invisible to the memo cache. cfg must already have NP and
+// Iters defaulted and dec resolved.
 func simulate(ctx context.Context, cfg Config, dec *tune.Decider) (Result, error) {
+	if ParallelIntra() && parallelEligible(cfg, dec) {
+		res, ok, err := simulateParallel(ctx, cfg, dec)
+		if err != nil || ok {
+			return res, err
+		}
+		// The post-run audit rejected the partitioning: the parallel
+		// result was discarded, re-run serially (the result stays exact).
+	}
+	return simulateSerial(ctx, cfg, dec)
+}
+
+// simulateSerial runs cfg's cell on a single leased engine.
+func simulateSerial(ctx context.Context, cfg Config, dec *tune.Decider) (Result, error) {
 	stats := &trace.Stats{}
 	sh := acquireShard()
 	defer releaseShard(sh)
 	eng, net := sh.lease(cfg.Machine, stats)
+	// Cluster cells scope hardware coherence to nodes: no real fabric
+	// snoops across machines, and the same islands make the intra-cell
+	// partitioning of parallel runs sound (serial and parallel runs both
+	// use them, so the mode cannot change a timestamp).
+	net.SetClusterIslands(cfg.Comp.Cluster)
 	// Carved after the lease so a warmed shard serves it from its arena.
 	perRank := sim.SlicesFor[float64](eng.Arena()).Make(cfg.NP)
 	if ctx.Done() != nil {
@@ -324,28 +352,7 @@ func simulate(ctx context.Context, cfg Config, dec *tune.Decider) (Result, error
 		Decider: dec,
 		Engine:  eng,
 		Net:     net,
-	}, func(r *mpi.Rank) {
-		bufs := prepare(r, cfg)
-		var total float64
-		for it := -1; it < cfg.Iters; it++ { // it==-1 is the warm-up
-			r.Barrier()
-			if cfg.OffCache {
-				if r.ID() == 0 {
-					r.World().Net().FlushCaches()
-				}
-				r.Barrier()
-			}
-			if it == 0 {
-				stats.Reset()
-			}
-			t0 := r.Now()
-			runOp(r, cfg, bufs)
-			if it >= 0 {
-				total += r.Now() - t0
-			}
-		}
-		perRank[r.ID()] = total / float64(cfg.Iters)
-	})
+	}, benchBody(cfg, stats, perRank))
 	if err != nil {
 		return Result{}, fmt.Errorf("bench: %s/%s/%s/%d: %w", cfg.Machine.Name, cfg.Comp.Name, cfg.Op, cfg.Size, err)
 	}
@@ -356,6 +363,45 @@ func simulate(ctx context.Context, cfg Config, dec *tune.Decider) (Result, error
 		}
 	}
 	return res, nil
+}
+
+// benchBody builds the per-rank SPMD body of one measurement cell: the
+// IMB protocol of barrier / optional off-cache flush / timed operation,
+// one warm-up iteration, max-over-ranks timing into perRank. stats is the
+// serial run's shared sink; cluster cells never touch it (see below), so
+// parallel runs pass nil.
+func benchBody(cfg Config, stats *trace.Stats, perRank []float64) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		bufs := prepare(r, cfg)
+		var total float64
+		for it := -1; it < cfg.Iters; it++ { // it==-1 is the warm-up
+			r.Barrier()
+			if cfg.OffCache {
+				if r.ID() == 0 {
+					r.World().Net().FlushCaches()
+				}
+				r.Barrier()
+			}
+			// Measured counters exclude the warm-up on single machines:
+			// each rank re-zeroes the shared sink as it starts iteration 0
+			// and the last reset wins. Cluster cells keep the warm-up's
+			// counters instead: those resets fall at rank-staggered
+			// instants, so which increments survive the last one depends
+			// on a global interleaving that per-partition sinks cannot
+			// reproduce — with purely additive counters and no mid-run
+			// wipe, a parallel run's merged sinks equal the serial totals
+			// exactly. Timestamps are unaffected either way.
+			if it == 0 && cfg.Comp.Cluster == nil {
+				stats.Reset()
+			}
+			t0 := r.Now()
+			runOp(r, cfg, bufs)
+			if it >= 0 {
+				total += r.Now() - t0
+			}
+		}
+		perRank[r.ID()] = total / float64(cfg.Iters)
+	}
 }
 
 // CellKey returns the content-addressed cache key Measure uses for cfg —

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/coll/hier"
+	"repro/internal/memsim"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tune"
+)
+
+// Intra-cell parallelism: one eligible cluster cell is partitioned into a
+// fabric domain (every node-leader rank plus all fabric traffic, on the
+// shard's own engine) and one sub-simulation per node (that node's member
+// ranks, on a pooled engine), synchronized with conservative time windows
+// of width equal to the cluster's control-latency lookahead (sim.Group).
+// The partitioning is exact, not approximate: all cross-partition traffic
+// in the eligible envelope is out-of-band control messages carrying at
+// least the control latency, so no event inside a window can affect
+// another partition within that window, and the parallel run reproduces
+// the single-engine run bit for bit — every timestamp, every counter,
+// every memoized value. parallelEligible defines the envelope; a post-run
+// audit (memsim.AuditPartitions) independently verifies the no-foreign-
+// traffic invariant and demotes the cell to a serial re-run if it ever
+// failed.
+
+// parallelOff gates intra-cell parallel execution; the zero value means
+// enabled. The toggle is deliberately NOT part of the memo key: parallel
+// and serial runs are byte-identical, so the mode cannot change any
+// cached value.
+var parallelOff atomic.Bool
+
+// SetParallelIntra enables or disables intra-cell parallel execution of
+// eligible cluster cells (enabled by default).
+func SetParallelIntra(on bool) { parallelOff.Store(!on) }
+
+// ParallelIntra reports whether intra-cell parallel execution is enabled.
+func ParallelIntra() bool { return !parallelOff.Load() }
+
+// parallelEligible reports whether cfg's cell is inside the proven
+// envelope for intra-cell parallel execution: a multi-node cluster cell
+// on the default hierarchical component, no fault plan, no decision
+// source, full machine occupancy, and an operation whose cross-partition
+// traffic is exclusively out-of-band control messages. The envelope is
+// conservative by construction — anything outside it runs serially, which
+// is always correct.
+func parallelEligible(cfg Config, dec *tune.Decider) bool {
+	cl := cfg.Comp.Cluster
+	if cl == nil || cl.NNodes() < 2 {
+		return false
+	}
+	// Full occupancy in rank order so every node has its leader as its
+	// first core and its members resident (the partition map is computed
+	// from the cluster shape alone).
+	if cfg.Machine != cl.Global || cfg.NP != cfg.Machine.NCores() {
+		return false
+	}
+	// Fault plans can invalidate regions mid-copy and force NACK resends,
+	// whose p2p retransmissions would cross partitions; decision sources
+	// can reroute algorithms out of the envelope.
+	if cfg.Fault != nil || dec != nil || cfg.Comp.BTL != mpi.BTLSM {
+		return false
+	}
+	// Default Hier-Tree only: its phase structure is what the envelope
+	// arguments (and the audit ranges) are proven against.
+	if cfg.Comp.Key != hierCfgKey(hier.Config{}) {
+		return false
+	}
+	if _, err := cl.Lookahead(); err != nil {
+		return false
+	}
+	switch cfg.Op {
+	case OpBarrier:
+		// Dissemination among leaders is zero-length eager p2p inside the
+		// fabric partition; members synchronize with their leader over OOB.
+		return true
+	case OpBcast:
+		// KNEM intra-node phase (members single-copy from the leader's
+		// region — node-local flows plus OOB responses, never member↔leader
+		// FIFO traffic) and non-pipelined binomial inter phase (leader
+		// FIFOs stay inside the fabric partition). Root 0 is node 0's
+		// leader, so there is no root→leader staging send.
+		return cfg.Root == 0 && cfg.Size >= 16<<10 && cfg.Size <= 64<<10
+	}
+	return false
+}
+
+// simulateParallel runs an eligible cluster cell across a leased engine
+// group. ok=false with a nil error means the post-run audit rejected the
+// partitioning: the result was discarded and the caller must re-run
+// serially. cfg must already have NP and Iters defaulted and dec resolved
+// (dec is necessarily nil inside the envelope).
+func simulateParallel(ctx context.Context, cfg Config, dec *tune.Decider) (Result, bool, error) {
+	cl := cfg.Comp.Cluster
+	lookahead, err := cl.Lookahead()
+	if err != nil {
+		return Result{}, false, err
+	}
+	sh := acquireShard()
+	defer releaseShard(sh)
+	g := sh.leaseGroup(cl)
+	grp, err := sim.NewGroup(g.engines, lookahead)
+	if err != nil {
+		return Result{}, false, err
+	}
+	// Carved after the lease so a warmed shard serves it from its arena.
+	perRank := sim.SlicesFor[float64](g.engines[0].Arena()).Make(cfg.NP)
+	if ctx.Done() != nil {
+		for _, eng := range g.engines {
+			eng.SetInterrupt(ctx.Err)
+		}
+		defer func() {
+			for _, eng := range g.engines {
+				eng.SetInterrupt(nil)
+			}
+		}()
+	}
+	_, _, err = mpi.Run(mpi.Options{
+		Machine: cfg.Machine,
+		NP:      cfg.NP,
+		BTL:     cfg.Comp.BTL,
+		KnemMin: cfg.Comp.KnemMin,
+		SHM:     shmConfig(),
+		Coll:    cfg.Comp.New,
+		Decider: dec,
+		Part: &mpi.PartitionSpec{
+			Of:      g.of,
+			Engines: g.engines,
+			Nets:    g.nets,
+			Group:   grp,
+		},
+	}, benchBody(cfg, nil, perRank))
+	var auditErr error
+	if err == nil {
+		auditErr = memsim.AuditPartitions(g.nets[0], g.nets[1:], lookahead)
+	}
+	noteGroupRun(len(g.engines), grp.Windows(), grp.MaxStaged(), auditErr != nil)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("bench: %s/%s/%s/%d (parallel): %w",
+			cfg.Machine.Name, cfg.Comp.Name, cfg.Op, cfg.Size, err)
+	}
+	if auditErr != nil {
+		return Result{}, false, nil
+	}
+	// Counters are purely additive and every increment lands in exactly
+	// one partition sink, so a partition-order merge equals the serial
+	// run's single shared sink (cluster cells never reset mid-run; see
+	// benchBody).
+	var merged trace.Stats
+	for _, sp := range g.statsP {
+		merged.Merge(sp)
+	}
+	res := Result{Config: cfg, Stats: merged.Snapshot()}
+	for _, v := range perRank {
+		if v > res.Seconds {
+			res.Seconds = v
+		}
+	}
+	return res, true, nil
+}
+
+// MeasureForced measures cfg without consulting the memo cache, forcing
+// intra-cell parallel execution on or off regardless of the package
+// toggle. The parallel-vs-serial identity checks (simbench's
+// cluster_10k_intra cell, make scale-smoke) use it to obtain both runs of
+// one cell in a single process. Forcing parallel on a cell outside the
+// envelope is an error, as is an audit fallback — the caller asked for
+// the parallel run specifically.
+func MeasureForced(ctx context.Context, cfg Config, parallel bool) (Result, error) {
+	if cfg.NP == 0 {
+		cfg.NP = cfg.Machine.NCores()
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 3
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	dec := cfg.Decider
+	if dec == nil {
+		dec = decisions.Load().For(cfg.Machine)
+	}
+	if !parallel {
+		return simulateSerial(ctx, cfg, dec)
+	}
+	if !parallelEligible(cfg, dec) {
+		return Result{}, fmt.Errorf("bench: %s/%s/%s/%d is outside the intra-cell parallel envelope",
+			cfg.Machine.Name, cfg.Comp.Name, cfg.Op, cfg.Size)
+	}
+	res, ok, err := simulateParallel(ctx, cfg, dec)
+	if err != nil {
+		return res, err
+	}
+	if !ok {
+		return Result{}, fmt.Errorf("bench: %s/%s/%s/%d: partition audit rejected the forced parallel run",
+			cfg.Machine.Name, cfg.Comp.Name, cfg.Op, cfg.Size)
+	}
+	return res, nil
+}

@@ -38,7 +38,7 @@ import (
 // the protocol stack (internal/sim, internal/memsim, internal/mpi,
 // internal/knem, internal/core, internal/coll/...) alters any simulated
 // timestamp or counter, so stale entries can never leak into new results.
-const simFingerprint = "sim/g2-coro"
+const simFingerprint = "sim/g3-partition"
 
 // cacheSchema versions the on-disk entry format.
 const cacheSchema = "simcache/v1"

@@ -252,14 +252,14 @@ type hierResp struct {
 func (c *Component) tryCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) (knem.Cookie, bool) {
 	in := c.injector()
 	for attempt := 0; ; attempt++ {
-		ck, err := c.w.Knem().CreateView(r.Proc(), r.ID(), v, dir)
+		ck, err := r.Knem().CreateView(r.Proc(), r.ID(), v, dir)
 		switch {
 		case err == nil:
 			return ck, true
 		case in == nil:
 			panic(fmt.Sprintf("hier: rank %d knem create: %v", r.ID(), err))
 		case err == knem.ErrAgain && attempt < in.MaxRetries():
-			c.w.Stats().Retries++
+			r.Stats().Retries++
 			r.Sleep(in.Backoff(attempt))
 		default:
 			return 0, false
@@ -271,14 +271,14 @@ func (c *Component) tryCreate(r *mpi.Rank, v memsim.View, dir knem.Direction) (k
 func (c *Component) tryCopy(r *mpi.Rank, local memsim.View, ck knem.Cookie, off int64, dir knem.Direction) error {
 	in := c.injector()
 	for attempt := 0; ; attempt++ {
-		err := c.w.Knem().CopyView(r.Proc(), r.Core(), local, ck, off, dir)
+		err := r.Knem().CopyView(r.Proc(), r.Core(), local, ck, off, dir)
 		switch {
 		case err == nil:
 			return nil
 		case in == nil:
 			panic(fmt.Sprintf("hier: rank %d knem copy: %v", r.ID(), err))
 		case err == knem.ErrAgain && attempt < in.MaxRetries():
-			c.w.Stats().Retries++
+			r.Stats().Retries++
 			r.Sleep(in.Backoff(attempt))
 		default:
 			return err
@@ -291,20 +291,20 @@ func (c *Component) destroyQuiet(r *mpi.Rank, ck knem.Cookie) {
 	if ck == 0 {
 		return
 	}
-	if err := c.w.Knem().Destroy(r.Proc(), ck); err != nil && err != knem.ErrInvalidCookie {
+	if err := r.Knem().Destroy(r.Proc(), ck); err != nil && err != knem.ErrInvalidCookie {
 		panic(fmt.Sprintf("hier: rank %d knem destroy: %v", r.ID(), err))
 	}
 }
 
 func (c *Component) noteFallback(r *mpi.Rank, op string) {
-	c.w.Stats().Fallbacks++
+	r.Stats().Fallbacks++
 	if in := c.injector(); in != nil {
 		in.Event("fallback", fmt.Sprintf("rank %d %s", r.ID(), op))
 	}
 }
 
 func (c *Component) noteResend(r *mpi.Rank, op string) {
-	c.w.Stats().Resends++
+	r.Stats().Resends++
 	if in := c.injector(); in != nil {
 		in.Event("resend", fmt.Sprintf("rank %d %s", r.ID(), op))
 	}

@@ -223,15 +223,34 @@ func (n *Net) Resident(g *topology.CacheGroup, v View) bool {
 func (n *Net) Touch(core *topology.Core, v View, write bool) {
 	n.caches[core.Group.ID].touch(v.Buf.ID, v.Off, v.Len, write)
 	if write {
-		n.invalidateRange(v.Buf.ID, v.Off, v.Len, core.Group)
+		n.invalidateRange(v.Buf.ID, v.Off, v.Len, core.Group, v.Buf.Domain)
 	}
 }
 
-// invalidateRange removes [off, off+n) of region from every cache except
-// the writer's (MESI-style invalidation on write). With prefix residency,
-// losing any part of the prefix truncates it at the overlap start.
-func (n *Net) invalidateRange(region int64, off, length int64, except *topology.CacheGroup) {
-	for _, c := range n.caches {
+// invalidateRange removes [off, off+n) of region from every cache that can
+// hold it, except the writer's (MESI-style invalidation on write). With
+// coherence islands the scan covers the buffer's home island plus the
+// writer's own island: entries for a region exist only in groups whose
+// cores accessed it, and a core outside the home island reaches foreign
+// memory solely through the transport's pair slots, executed by the two
+// endpoint cores — so the union covers every group that can hold the
+// region, and the invalidation effect is identical to a full scan.
+func (n *Net) invalidateRange(region int64, off, length int64, except *topology.CacheGroup, home *topology.MemDomain) {
+	lo, hi := 0, len(n.caches)
+	if home != nil {
+		lo, hi = n.homeRange(home)
+	}
+	n.invalidateSpan(region, off, length, except, lo, hi)
+	if except != nil {
+		if elo, ehi := n.islandRange(except); elo != lo {
+			n.invalidateSpan(region, off, length, except, elo, ehi)
+		}
+	}
+}
+
+// invalidateSpan is invalidateRange's worker over one groupCache range.
+func (n *Net) invalidateSpan(region int64, off, length int64, except *topology.CacheGroup, lo, hi int) {
+	for _, c := range n.caches[lo:hi] {
 		if c.group == except || len(c.entries) == 0 {
 			continue
 		}
@@ -249,14 +268,37 @@ func (n *Net) invalidateRange(region int64, off, length int64, except *topology.
 	}
 }
 
+// islandRange returns the half-open groupCache index range a coherence
+// actor in group g may snoop. Without islands (a single machine, one
+// coherence domain) that is every group; on a compiled cluster each node
+// is its own island — hardware coherence does not cross the fabric, so a
+// reader can neither hit nor intervene in another node's caches.
+func (n *Net) islandRange(g *topology.CacheGroup) (int, int) {
+	if n.islGroupLo == nil {
+		return 0, len(n.caches)
+	}
+	return int(n.islGroupLo[g.ID]), int(n.islGroupHi[g.ID])
+}
+
+// homeRange returns the island group range of a memory domain (the groups
+// that snoop addresses homed there).
+func (n *Net) homeRange(d *topology.MemDomain) (int, int) {
+	if n.islDomLo == nil {
+		return 0, len(n.caches)
+	}
+	return int(n.islDomLo[d.ID]), int(n.islDomHi[d.ID])
+}
+
 // findCached returns the best cache group holding view v readable at cache
 // speed by reader (closest, ties to the lowest group ID), or nil if none.
 // Dirty data only serves cache-speed reads inside the owning group; remote
-// readers of dirty data pay an intervention (see dirtyOwner).
+// readers of dirty data pay an intervention (see dirtyOwner). The scan
+// covers the reader's coherence island only.
 func (n *Net) findCached(reader *topology.Core, v View) *topology.CacheGroup {
 	var best *topology.CacheGroup
 	bestHops := 0
-	for _, c := range n.caches {
+	lo, hi := n.islandRange(reader.Group)
+	for _, c := range n.caches[lo:hi] {
 		if len(c.entries) == 0 {
 			continue
 		}
@@ -281,7 +323,8 @@ func (n *Net) findCached(reader *topology.Core, v View) *topology.CacheGroup {
 // its home memory — no faster than DRAM, and it loads the path to the
 // owner.
 func (n *Net) dirtyOwner(reader *topology.Core, v View) *topology.CacheGroup {
-	for _, c := range n.caches {
+	lo, hi := n.islandRange(reader.Group)
+	for _, c := range n.caches[lo:hi] {
 		if c.group == reader.Group || len(c.entries) == 0 {
 			continue
 		}

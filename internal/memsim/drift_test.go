@@ -9,48 +9,43 @@ import (
 )
 
 // The completion instant of every flow is computed in floating point, so a
-// flow may be fractionally below zero bytes when its event fires. advance
-// clamps drift up to finishEps and panics beyond it — a flow finishing with
-// meaningfully negative remaining bytes means the scheduler lost track of
-// it (e.g. a missed reschedule after a rate change), which must never be
-// absorbed silently.
+// flow may be fractionally below zero bytes when it is depleted. depleteTo
+// clamps drift up to finishEps and panics beyond it — a flow finishing
+// with meaningfully negative remaining bytes means the scheduler lost
+// track of it (e.g. a missed reschedule after a rate change), which must
+// never be absorbed silently.
 
-func driftFlow(n *Net, remaining, rate float64, since sim.Time) {
-	f := n.newFlow()
-	f.remaining, f.rate, f.seq = remaining, rate, 999
-	f.uses = append(f.uses, linkUse{link: n.mach.Links[0], idx: 0, mult: 1})
-	n.flows = append(n.flows, f)
-	n.lastUpdate = since
+func driftFlow(remaining, rate float64, since sim.Time) *flow {
+	return &flow{remaining: remaining, rate: rate, seq: 999, last: since}
 }
 
-func TestAdvanceClampsSubEpsDrift(t *testing.T) {
-	m := topology.Dancer()
-	_, n := setup(m)
+func TestDepleteClampsSubEpsDrift(t *testing.T) {
 	// Depletes 2e-4 bytes against 1e-4 remaining: 1e-4 bytes of overshoot,
 	// inside the finishEps tolerance — clamped to exactly zero.
-	driftFlow(n, 1e-4, 1, -2e-4)
-	n.advance()
-	if got := n.flows[0].remaining; got != 0 {
-		t.Fatalf("remaining = %g, want clamp to 0", got)
+	f := driftFlow(1e-4, 1, -2e-4)
+	f.depleteTo(0)
+	if f.remaining != 0 {
+		t.Fatalf("remaining = %g, want clamp to 0", f.remaining)
+	}
+	if f.last != 0 {
+		t.Fatalf("last = %g, want 0", f.last)
 	}
 }
 
-func TestAdvanceOvershootBeyondEpsPanics(t *testing.T) {
-	m := topology.Dancer()
-	_, n := setup(m)
+func TestDepleteOvershootBeyondEpsPanics(t *testing.T) {
 	// A full simulated second at 1 B/s against 1e-4 remaining bytes: ~1
 	// byte of overshoot, far past finishEps — the drift guard must fire.
-	driftFlow(n, 1e-4, 1, -1)
+	f := driftFlow(1e-4, 1, -1)
 	defer func() {
 		r := recover()
 		if r == nil {
-			t.Fatal("advance absorbed a >finishEps overshoot silently")
+			t.Fatal("depleteTo absorbed a >finishEps overshoot silently")
 		}
 		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overshot completion") {
 			t.Fatalf("unexpected panic: %v", r)
 		}
 	}()
-	n.advance()
+	f.depleteTo(0)
 }
 
 // TestManyTinyFlowsNoDriftAccumulation is the end-to-end regression: long

@@ -21,7 +21,6 @@ type Net struct {
 	bwScale []float64 // per-link bandwidth multipliers (nil = none)
 
 	flows      []*flow
-	lastUpdate sim.Time
 	completion *sim.Event
 	nextBuf    int64
 	flowSeq    int64
@@ -61,11 +60,10 @@ type Net struct {
 	useMult  []float64
 	useOrder []int
 
-	flowPool  []*flow           // recycled flow objects, uses-capacity preserved
-	finished  []*flow           // onCompletion scratch
-	pendPool  []*Pending        // recycled copy handles (blocking Copy only)
-	entryPool *entryPool        // recycled cacheEntry nodes, shared by all groups
-	bufSlab   *sim.Slab[Buffer] // arena-backed Alloc; survives Reset
+	flowPool []*flow           // recycled flow objects, uses-capacity preserved
+	finished []*flow           // onCompletion scratch
+	pendPool []*Pending        // recycled copy handles (blocking Copy only)
+	bufSlab  *sim.Slab[Buffer] // arena-backed Alloc; survives Reset
 
 	// Interned routes: routeDom[vertex][domainID] and
 	// routeGroup[vertex][groupID] hold the PathToDomain/PathToGroup results
@@ -78,6 +76,27 @@ type Net struct {
 	// linkNames is the dense link-name table handed to every stats sink
 	// (SetLinkNames), built once in New and reused by Reset.
 	linkNames []string
+
+	// Coherence islands (SetClusterIslands): per-group and per-domain
+	// half-open ranges into caches bounding what a reader may snoop and
+	// what a write invalidates. Nil means one island spanning the machine.
+	islGroupLo, islGroupHi []int32
+	islDomLo, islDomHi     []int32
+
+	// Intra-cell partition state (NewPartition). linkLo/linkHi bound the
+	// solver's link loops; a guarded partition additionally panics if a
+	// flow strays outside its slice, and records every flow's simulated
+	// interval for the post-run soundness audit. bufBase keeps partition
+	// buffer IDs disjoint. foreignRanges/foreignSpans are the fabric-side
+	// audit state: intervals of fabric flows that crossed into a node's
+	// link slice, per node.
+	linkLo, linkHi int
+	linkGuard      bool
+	recordSpans    bool
+	bufBase        int64
+	spans          []FlowSpan
+	foreignRanges  [][2]int32
+	foreignSpans   [][]FlowSpan
 }
 
 // linkUse is one link crossed by a flow; mult > 1 when the flow crosses the
@@ -96,7 +115,12 @@ type flow struct {
 	rate      float64
 	fixed     bool // water-filling working state
 	started   sim.Time
-	pending   *Pending
+	// last is the instant of the flow's most recent depletion: its start,
+	// or the last time its rate changed. Depletion is lazy per flow (see
+	// depleteTo), so remaining is the bytes left as of last, not as of the
+	// engine's current time.
+	last    sim.Time
+	pending *Pending
 	// Completion state, consumed by finishFlow. Kept as plain fields (not
 	// a closure) so starting a copy allocates nothing.
 	engine   *topology.Link
@@ -130,7 +154,7 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	if stats == nil {
 		stats = &trace.Stats{}
 	}
-	n := &Net{eng: eng, mach: m, stats: stats, entryPool: &entryPool{}}
+	n := &Net{eng: eng, mach: m, stats: stats}
 	n.bufSlab = sim.SlabFor[Buffer](eng.Arena())
 	names := make([]string, len(m.Links))
 	for i, l := range m.Links {
@@ -139,7 +163,10 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	n.linkNames = names
 	stats.SetLinkNames(names)
 	for _, g := range m.Groups {
-		n.caches = append(n.caches, newGroupCache(g, n.entryPool))
+		// One entry pool per group (not per Net): partitions of one cell
+		// share the groupCache objects, so a shared pool would couple
+		// engines through its free list.
+		n.caches = append(n.caches, newGroupCache(g, &entryPool{}))
 	}
 	nv := 0
 	for _, c := range m.Cores {
@@ -173,6 +200,7 @@ func New(eng *sim.Engine, m *topology.Machine, stats *trace.Stats) *Net {
 	n.useMult = make([]float64, nl)
 	n.onCompletionFn = n.onCompletion
 	n.repriceFn = n.flushReprice
+	n.linkLo, n.linkHi = 0, nl
 	return n
 }
 
@@ -195,6 +223,8 @@ func (n *Net) Reset(stats *trace.Stats) {
 	stats.SetLinkNames(n.linkNames)
 	n.tl = nil
 	n.bwScale = nil
+	n.islGroupLo, n.islGroupHi = nil, nil
+	n.islDomLo, n.islDomHi = nil, nil
 	for _, c := range n.caches {
 		c.flush()
 	}
@@ -205,16 +235,53 @@ func (n *Net) Reset(stats *trace.Stats) {
 		n.flows[i] = nil
 	}
 	n.flows = n.flows[:0]
-	n.lastUpdate = 0
 	n.completion = nil
 	n.nextBuf, n.flowSeq = 0, 0
 	n.repricePending, n.needSolve = false, false
 	n.rateSolves = 0
+	n.spans = n.spans[:0]
+	for i := range n.foreignSpans {
+		n.foreignSpans[i] = n.foreignSpans[i][:0]
+	}
 	for i := range n.linkWeight {
 		n.linkWeight[i] = 0
 	}
 	// useEpoch stays monotone: useMark entries still carry old stamps, and
 	// a rewound epoch could collide with them.
+}
+
+// SetClusterIslands scopes hardware cache coherence to the nodes of a
+// compiled cluster: each node's cache groups form one coherence island,
+// so cross-node cache hits and modified-line interventions — which no
+// real fabric provides — cannot occur. Reads of remote memory stream from
+// the home node's DRAM instead. Single machines (and a nil cluster) keep
+// the default whole-machine island. The cluster must be the one this
+// Net's machine was compiled from.
+func (n *Net) SetClusterIslands(cl *topology.Cluster) {
+	if cl == nil {
+		n.islGroupLo, n.islGroupHi = nil, nil
+		n.islDomLo, n.islDomHi = nil, nil
+		return
+	}
+	if cl.Global != n.mach {
+		panic("memsim: SetClusterIslands cluster does not match the Net's machine")
+	}
+	ng, nd := len(n.mach.Groups), len(n.mach.Domains)
+	if len(n.islGroupLo) != ng {
+		n.islGroupLo = make([]int32, ng)
+		n.islGroupHi = make([]int32, ng)
+		n.islDomLo = make([]int32, nd)
+		n.islDomHi = make([]int32, nd)
+	}
+	for _, node := range cl.Nodes {
+		lo, hi := int32(node.FirstGroup), int32(node.FirstGroup+node.NGroups)
+		for g := lo; g < hi; g++ {
+			n.islGroupLo[g], n.islGroupHi[g] = lo, hi
+		}
+		for d := node.FirstDomain; d < node.FirstDomain+node.NDomains; d++ {
+			n.islDomLo[d], n.islDomHi[d] = lo, hi
+		}
+	}
 }
 
 // Machine returns the underlying hardware model.
@@ -386,12 +453,20 @@ func (n *Net) startCopy(engine *topology.Link, core *topology.Core, dst, src Vie
 
 	f := n.newFlow()
 	f.remaining, f.pending, f.started = float64(src.Len), pe, n.eng.Now()
+	f.last = f.started
 	n.flowSeq++
 	f.seq = n.flowSeq
 	for _, i := range n.useOrder {
 		f.uses = append(f.uses, linkUse{link: n.mach.Links[i], idx: i, mult: n.useMult[i]})
 	}
 	n.useOrder = n.useOrder[:0]
+	if n.linkGuard {
+		for _, u := range f.uses {
+			if u.idx < n.linkLo || u.idx >= n.linkHi {
+				panic(fmt.Sprintf("memsim: partition flow crosses out-of-slice link %s", u.link.Name))
+			}
+		}
+	}
 
 	n.stats.Copies++
 	n.stats.BytesCopied += src.Len
@@ -426,10 +501,10 @@ func (n *Net) finishFlow(f *flow) {
 		c := n.caches[f.core.Group.ID]
 		c.touch(src.Buf.ID, src.Off, src.Len, false)
 		c.touch(dst.Buf.ID, dst.Off, dst.Len, true)
-		n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, f.core.Group)
+		n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, f.core.Group, dst.Buf.Domain)
 	} else {
-		// DMA writes go to memory and invalidate every cache.
-		n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, nil)
+		// DMA writes go to memory and invalidate the home island's caches.
+		n.invalidateRange(dst.Buf.ID, dst.Off, dst.Len, nil, dst.Buf.Domain)
 	}
 	pe := f.pending
 	pe.done = true
@@ -480,7 +555,6 @@ func (n *Net) freeFlow(f *flow) {
 }
 
 func (n *Net) addFlow(f *flow) {
-	n.advance()
 	n.flows = append(n.flows, f)
 	// Fast path: a flow sharing no link with any active flow cannot change
 	// the bottleneck set. Its own rate is the min residual share over its
@@ -566,24 +640,25 @@ func (n *Net) scheduleProvisional() {
 	if len(n.flows) == 0 {
 		return
 	}
-	next := math.Inf(1)
+	now := n.eng.Now()
+	at := math.Inf(1)
 	for _, f := range n.flows {
 		if f.rate <= 0 {
 			continue
 		}
-		if t := f.remaining / f.rate; t < next {
-			next = t
+		if t := f.last + f.remaining/f.rate; t < at {
+			at = t
 		}
 	}
-	if math.IsInf(next, 1) {
+	if math.IsInf(at, 1) {
 		// Every flow is still unpriced (e.g. the only rated flow just
 		// finished at this instant while a new burst is pending): park
 		// the event strictly in the future and let the flush settle it.
-		next = provisionalFar
-	} else if next < 0 {
-		next = 0
+		at = now + provisionalFar
+	} else if at < now {
+		at = now
 	}
-	n.completion = n.eng.ScheduleOwned(next, n.onCompletionFn)
+	n.completion = n.eng.ScheduleOwnedAt(at, n.onCompletionFn)
 }
 
 // flushReprice ends the instant's burst: one water-filling over the final
@@ -602,43 +677,47 @@ func (n *Net) flushReprice() {
 	if n.completion == nil {
 		return
 	}
-	next := math.Inf(1)
+	now := n.eng.Now()
+	at := math.Inf(1)
 	for _, f := range n.flows {
 		if f.rate <= 0 {
 			panic("memsim: flow with zero rate")
 		}
-		if t := f.remaining / f.rate; t < next {
-			next = t
+		if t := f.last + f.remaining/f.rate; t < at {
+			at = t
 		}
 	}
-	if next < 0 {
-		next = 0
+	if at < now {
+		at = now
 	}
-	if t := n.eng.Now() + next; t != n.completion.Time() {
-		n.eng.Retime(n.completion, t)
+	if at != n.completion.Time() {
+		n.eng.Retime(n.completion, at)
 	}
 }
 
-// advance depletes every flow by the bandwidth it enjoyed since the last
-// update. A flow may land fractionally below zero because its completion
-// instant was computed in floating point; anything beyond finishEps of
-// overshoot means the scheduler lost track of a flow and is a bug, not
-// drift, so it panics instead of silently clamping.
-func (n *Net) advance() {
-	now := n.eng.Now()
-	dt := now - n.lastUpdate
-	if dt > 0 {
-		for _, f := range n.flows {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				if f.remaining < -finishEps {
-					panic(fmt.Sprintf("memsim: flow %d overshot completion by %g bytes", f.seq, -f.remaining))
-				}
-				f.remaining = 0
+// depleteTo charges f for the bandwidth it enjoyed since its last
+// depletion. It is called only when f's rate is about to change (and on
+// f's own completion), never because some unrelated flow started or
+// finished — so a flow's floating-point accumulation is chopped exactly
+// at its own rate-change instants. Rate changes only propagate over
+// shared links, which makes those instants identical whether the Net
+// spans the whole machine or one partition of it: the property that keeps
+// intra-cell parallel runs bit-identical to single-engine runs. A flow
+// may land fractionally below zero because its completion instant was
+// computed in floating point; anything beyond finishEps of overshoot
+// means the scheduler lost track of it and is a bug, not drift, so it
+// panics instead of silently clamping.
+func (f *flow) depleteTo(now sim.Time) {
+	if dt := now - f.last; dt > 0 {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			if f.remaining < -finishEps {
+				panic(fmt.Sprintf("memsim: flow %d overshot completion by %g bytes", f.seq, -f.remaining))
 			}
+			f.remaining = 0
 		}
 	}
-	n.lastUpdate = now
+	f.last = now
 }
 
 const finishEps = 1e-3 // bytes; far below any modelled transfer granularity
@@ -662,29 +741,35 @@ func (n *Net) scheduleNext() {
 	if len(n.flows) == 0 {
 		return
 	}
-	next := math.Inf(1)
+	now := n.eng.Now()
+	at := math.Inf(1)
 	for _, f := range n.flows {
 		if f.rate <= 0 {
 			panic("memsim: flow with zero rate")
 		}
-		t := f.remaining / f.rate
-		if t < next {
-			next = t
+		if t := f.last + f.remaining/f.rate; t < at {
+			at = t
 		}
 	}
-	if next < 0 {
-		next = 0
+	if at < now {
+		at = now
 	}
-	n.completion = n.eng.ScheduleOwned(next, n.onCompletionFn)
+	n.completion = n.eng.ScheduleOwnedAt(at, n.onCompletionFn)
 }
 
 func (n *Net) onCompletion() {
 	n.completion = nil
-	n.advance()
+	now := n.eng.Now()
 	remaining := n.flows[:0]
 	finished := n.finished[:0]
 	for _, f := range n.flows {
-		if f.remaining <= finishEps {
+		// Survivors are judged without mutation: depleting them here would
+		// chop their accumulation at another flow's completion instant.
+		if rem := f.remaining - f.rate*(now-f.last); rem <= finishEps {
+			if rem < -finishEps {
+				panic(fmt.Sprintf("memsim: flow %d overshot completion by %g bytes", f.seq, -rem))
+			}
+			f.remaining, f.last = 0, now
 			finished = append(finished, f)
 		} else {
 			remaining = append(remaining, f)
@@ -712,6 +797,9 @@ func (n *Net) onCompletion() {
 		}
 	}
 	for _, f := range finished {
+		if n.recordSpans {
+			n.recordSpan(f)
+		}
 		n.finishFlow(f)
 	}
 	for i, f := range finished {
@@ -728,15 +816,20 @@ func (n *Net) onCompletion() {
 // persistent scratch arrays on Net, so the solver allocates nothing.
 func (n *Net) recomputeRates() {
 	n.rateSolves++
-	nl := len(n.mach.Links)
+	// A partition's flows only cross links in [linkLo, linkHi) (zero weight
+	// everywhere else), so the link loops scan just that slice; the whole
+	// machine for an unpartitioned Net. Restricting the scan changes no
+	// arithmetic — skipped links contribute nothing either way.
+	lo, nl := n.linkLo, n.linkHi
+	now := n.eng.Now()
 	fixedLoad, weight, saturated := n.wfFixed, n.wfWeight, n.wfSat
-	for i := 0; i < nl; i++ {
+	for i := lo; i < nl; i++ {
 		fixedLoad[i] = 0
 	}
 	// The working weights start from the incrementally maintained totals;
 	// multiplicities are small integers, so the running sum is exact and
 	// bit-identical to re-accumulating over the flows.
-	copy(weight, n.linkWeight)
+	copy(weight[lo:nl], n.linkWeight[lo:nl])
 	unfixed := len(n.flows)
 	for _, f := range n.flows {
 		f.fixed = false
@@ -744,7 +837,7 @@ func (n *Net) recomputeRates() {
 	for unfixed > 0 {
 		// Find the bottleneck share.
 		share := math.Inf(1)
-		for i := 0; i < nl; i++ {
+		for i := lo; i < nl; i++ {
 			if weight[i] <= 0 {
 				continue
 			}
@@ -761,7 +854,7 @@ func (n *Net) recomputeRates() {
 		}
 		// Identify the links saturated at this share, then fix every
 		// unfixed flow crossing one of them.
-		for i := 0; i < nl; i++ {
+		for i := lo; i < nl; i++ {
 			if weight[i] <= 0 {
 				saturated[i] = false
 				continue
@@ -782,7 +875,10 @@ func (n *Net) recomputeRates() {
 				}
 			}
 			if bottled {
-				f.rate = share
+				if share != f.rate {
+					f.depleteTo(now)
+					f.rate = share
+				}
 				f.fixed = true
 				unfixed--
 				progress = true

@@ -1,0 +1,237 @@
+// Conservative time-windowed execution of several engines as one
+// simulation (Chandy–Misra-style null-message-free windowing).
+//
+// A Group partitions one logical simulation across engines whose only
+// coupling is message passing with a known minimum latency L (the
+// lookahead). Each round the Group computes T = the minimum next-event
+// time across all engines and runs every engine with work before the
+// horizon H = T + L, concurrently, via Engine.RunUntil(H). Any event an
+// engine schedules for a peer during the window is not delivered
+// directly (that would race); it is staged as an Export and injected
+// into the destination engine between windows. Because every
+// cross-engine effect carries at least L of latency, an export produced
+// at time t < H is deliverable no earlier than t + L >= T + L... but t
+// can be as late as H, so the guarantee callers must uphold — checked
+// here — is deliverAt >= H: nothing injected can land inside the window
+// that produced it, so no engine ever sees an event in its past.
+//
+// Determinism: staged exports are injected in (At, source partition,
+// staging order) order, and injection uses ScheduleAt on the destination
+// engine, which assigns a fresh seq there. Runs are bit-identical across
+// repeats and across GOMAXPROCS because the injection order is a pure
+// function of simulated time, not goroutine interleaving.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Export is a cross-engine message staged during a window: at simulated
+// time At, Data must be delivered to partition Dest (an index into the
+// Group's engine slice). The Group hands (At, Data) to the destination
+// partition's importer between windows.
+type Export struct {
+	Dest int
+	At   Time
+	Data any
+}
+
+// Group runs a set of engines in conservative time windows. Construct
+// with NewGroup; Run replaces the individual engines' Run.
+type Group struct {
+	engines   []*Engine
+	lookahead Time
+	// importers[i] delivers one import into engine i: it must schedule
+	// the payload at the given absolute time (typically via ScheduleAt)
+	// and runs between windows, on the coordinating goroutine.
+	importers []func(at Time, data any)
+	staged    [][]Export // per-source-partition staging areas
+	inject    []groupInjection
+
+	windows   int64 // windows executed
+	maxStaged int   // high-water exports staged in any one window
+}
+
+// groupInjection is one staged export tagged for the deterministic
+// between-window sort: src/idx break At ties by source partition and
+// staging order.
+type groupInjection struct {
+	Export
+	src, idx int
+}
+
+// NewGroup creates a windowed coordinator over engines (one per
+// partition). lookahead is the minimum simulated latency of any
+// cross-partition interaction; it must be positive — with zero lookahead
+// conservative windowing cannot make progress.
+func NewGroup(engines []*Engine, lookahead Time) (*Group, error) {
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: group lookahead must be positive, got %g (a zero-latency cross-partition link admits no conservative window)", lookahead)
+	}
+	g := &Group{
+		engines:   engines,
+		lookahead: lookahead,
+		importers: make([]func(Time, any), len(engines)),
+		staged:    make([][]Export, len(engines)),
+	}
+	return g, nil
+}
+
+// SetImporter installs the import callback for partition i. It runs
+// between windows on the coordinating goroutine and must schedule data
+// on engine i at the given absolute time.
+func (g *Group) SetImporter(i int, fn func(at Time, data any)) { g.importers[i] = fn }
+
+// Stage records a cross-engine export produced by partition src during
+// the current window. It must be called from src's engine (i.e. from
+// inside event callbacks of that engine) — each partition has its own
+// staging area, so concurrent windows do not contend.
+func (g *Group) Stage(src int, e Export) {
+	g.staged[src] = append(g.staged[src], e)
+}
+
+// Windows returns the number of windows executed by Run.
+func (g *Group) Windows() int64 { return g.windows }
+
+// MaxStaged returns the high-water count of exports staged in any single
+// window (the peak export-queue depth).
+func (g *Group) MaxStaged() int { return g.maxStaged }
+
+// Run executes the group to completion: windows advance until every
+// engine's queue drains. It returns the first error (watchdog,
+// interrupt, or an engine-local deadlock/abort), attributed to the
+// lowest-indexed failing engine; if all queues drain while processes
+// remain parked anywhere in the group, it returns one aggregated
+// *DeadlockError. All parked processes in every engine are killed before
+// Run returns.
+func (g *Group) Run() error {
+	for i, e := range g.engines {
+		if e.running {
+			panic("sim: Group.Run with an engine already running")
+		}
+		if g.importers[i] == nil {
+			panic(fmt.Sprintf("sim: Group.Run with no importer for partition %d", i))
+		}
+	}
+	errs := make([]error, len(g.engines))
+	for {
+		// T = earliest pending event anywhere; done when all queues drain.
+		haveT := false
+		var t Time
+		for _, e := range g.engines {
+			if nt, ok := e.NextEventTime(); ok && (!haveT || nt < t) {
+				t, haveT = nt, true
+			}
+		}
+		if !haveT {
+			break
+		}
+		h := t + g.lookahead
+
+		// Run every engine with work before the horizon. The common
+		// inter-node phase wakes only the fabric engine; run that lone
+		// engine inline rather than paying a goroutine round trip.
+		var runnable []*Engine
+		var runnableIdx []int
+		for i, e := range g.engines {
+			if nt, ok := e.NextEventTime(); ok && nt < h {
+				runnable = append(runnable, e)
+				runnableIdx = append(runnableIdx, i)
+			}
+		}
+		if len(runnable) == 1 {
+			errs[runnableIdx[0]] = runnable[0].RunUntil(h)
+		} else {
+			var wg sync.WaitGroup
+			for k, e := range runnable {
+				wg.Add(1)
+				go func(idx int, e *Engine) {
+					defer wg.Done()
+					errs[idx] = e.RunUntil(h)
+				}(runnableIdx[k], e)
+			}
+			wg.Wait()
+		}
+		g.windows++
+		for _, err := range errs {
+			if err != nil {
+				g.killAll()
+				return firstErr(errs)
+			}
+		}
+
+		// Deliver staged exports deterministically: order by (At, source
+		// partition, staging order), then inject via the destination's
+		// importer, which assigns fresh seq numbers there.
+		g.inject = g.inject[:0]
+		for src := range g.staged {
+			for idx, ex := range g.staged[src] {
+				g.inject = append(g.inject, groupInjection{Export: ex, src: src, idx: idx})
+			}
+			g.staged[src] = g.staged[src][:0]
+		}
+		if n := len(g.inject); n > 0 {
+			if n > g.maxStaged {
+				g.maxStaged = n
+			}
+			sort.SliceStable(g.inject, func(a, b int) bool {
+				x, y := &g.inject[a], &g.inject[b]
+				if x.At != y.At {
+					return x.At < y.At
+				}
+				if x.src != y.src {
+					return x.src < y.src
+				}
+				return x.idx < y.idx
+			})
+			for i := range g.inject {
+				in := &g.inject[i]
+				if in.At < h {
+					g.killAll()
+					return fmt.Errorf("sim: lookahead violation: partition %d exported an event for t=%.9fs inside the window ending at %.9fs", in.src, in.At, h)
+				}
+				g.importers[in.Dest](in.At, in.Data)
+				in.Data = nil
+			}
+		}
+	}
+
+	// All queues drained. Live processes anywhere mean a cross-engine
+	// deadlock: aggregate every parked process into one error.
+	liveTotal := 0
+	var at Time
+	for _, e := range g.engines {
+		liveTotal += e.Live()
+		if e.Now() > at {
+			at = e.Now()
+		}
+	}
+	var err error
+	if liveTotal > 0 {
+		d := &DeadlockError{At: at}
+		for _, e := range g.engines {
+			d.Parked = e.ParkedReasons(d.Parked)
+		}
+		sort.Strings(d.Parked)
+		err = d
+	}
+	g.killAll()
+	return err
+}
+
+func (g *Group) killAll() {
+	for _, e := range g.engines {
+		e.KillParked()
+	}
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunUntilPauseResume checks that RunUntil fires only events strictly
+// before the limit and that a later RunUntil resumes seamlessly, with
+// same-instant FIFO order preserved across the boundary re-push.
+func TestRunUntilPauseResume(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.ScheduleAt(1, func() { log = append(log, "t1") })
+	e.ScheduleAt(2, func() { log = append(log, "t2a") })
+	e.ScheduleAt(2, func() { log = append(log, "t2b") })
+	e.ScheduleAt(3, func() { log = append(log, "t3") })
+
+	if err := e.RunUntil(2); err != nil {
+		t.Fatalf("RunUntil(2): %v", err)
+	}
+	if got, want := strings.Join(log, ","), "t1"; got != want {
+		t.Fatalf("after RunUntil(2): fired %q, want %q", got, want)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %g, want 1", e.Now())
+	}
+	if nt, ok := e.NextEventTime(); !ok || nt != 2 {
+		t.Fatalf("NextEventTime() = %g,%v, want 2,true", nt, ok)
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatalf("RunUntil(10): %v", err)
+	}
+	if got, want := strings.Join(log, ","), "t1,t2a,t2b,t3"; got != want {
+		t.Fatalf("final order %q, want %q", got, want)
+	}
+}
+
+// pingPong wires two engines into a Group exchanging a token with
+// latency L and returns the recorded (engine, time) trace.
+func pingPong(t *testing.T, n int) ([]string, *Group) {
+	t.Helper()
+	const L = 0.5
+	engines := []*Engine{NewEngine(), NewEngine()}
+	g, err := NewGroup(engines, L)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	var log []string
+	var send func(src int, hops int)
+	send = func(src int, hops int) {
+		if hops == 0 {
+			return
+		}
+		e := engines[src]
+		log = append(log, formatHop(src, e.Now()))
+		g.Stage(src, Export{Dest: 1 - src, At: e.Now() + L, Data: hops - 1})
+	}
+	for i := range engines {
+		i := i
+		g.SetImporter(i, func(at Time, data any) {
+			engines[i].ScheduleAt(at, func() { send(i, data.(int)) })
+		})
+	}
+	engines[0].ScheduleAt(0, func() { send(0, n) })
+	if err := g.Run(); err != nil {
+		t.Fatalf("Group.Run: %v", err)
+	}
+	return log, g
+}
+
+func formatHop(src int, now Time) string {
+	return string(rune('A'+src)) + "@" + trimFloat(now)
+}
+
+func trimFloat(f Time) string {
+	s := []byte{}
+	// one decimal place is enough for the 0.5-step trace
+	whole := int(f)
+	frac := int((f - Time(whole)) * 10)
+	s = append(s, byte('0'+whole%10))
+	s = append(s, '.')
+	s = append(s, byte('0'+frac))
+	return string(s)
+}
+
+// TestGroupPingPong drives a token between two engines through the
+// staged-export path and checks the trace is exactly the serial
+// alternation, bit-identical across runs.
+func TestGroupPingPong(t *testing.T) {
+	first, g1 := pingPong(t, 6)
+	want := "A@0.0,B@0.5,A@1.0,B@1.5,A@2.0,B@2.5"
+	if got := strings.Join(first, ","); got != want {
+		t.Fatalf("trace %q, want %q", got, want)
+	}
+	if g1.Windows() == 0 || g1.MaxStaged() != 1 {
+		t.Fatalf("windows=%d maxStaged=%d, want >0 and 1", g1.Windows(), g1.MaxStaged())
+	}
+	for i := 0; i < 3; i++ {
+		again, _ := pingPong(t, 6)
+		if strings.Join(again, ",") != want {
+			t.Fatalf("run %d diverged: %q", i, strings.Join(again, ","))
+		}
+	}
+}
+
+// TestGroupZeroLookahead checks the one-line rejection of a zero-latency
+// partition boundary.
+func TestGroupZeroLookahead(t *testing.T) {
+	if _, err := NewGroup([]*Engine{NewEngine()}, 0); err == nil {
+		t.Fatal("NewGroup with zero lookahead: want error, got nil")
+	} else if !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("error %q does not mention lookahead", err)
+	}
+}
+
+// TestGroupLookaheadViolation checks that an export stamped inside its
+// own window aborts the run instead of silently reordering events.
+func TestGroupLookaheadViolation(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	g, err := NewGroup(engines, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range engines {
+		i := i
+		g.SetImporter(i, func(at Time, data any) { engines[i].ScheduleAt(at, func() {}) })
+	}
+	engines[0].ScheduleAt(0, func() {
+		// Claims delivery 0.5 into a window of lookahead 1.0.
+		g.Stage(0, Export{Dest: 1, At: engines[0].Now() + 0.5, Data: nil})
+	})
+	err = g.Run()
+	if err == nil || !strings.Contains(err.Error(), "lookahead violation") {
+		t.Fatalf("Group.Run = %v, want lookahead violation", err)
+	}
+}
+
+// TestGroupDeadlockAggregation checks that parked processes on several
+// engines surface as one aggregated DeadlockError.
+func TestGroupDeadlockAggregation(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	g, err := NewGroup(engines, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range engines {
+		i := i
+		g.SetImporter(i, func(at Time, data any) { engines[i].ScheduleAt(at, func() {}) })
+	}
+	for i, e := range engines {
+		e := e
+		name := []string{"waiter-a", "waiter-b"}[i]
+		ch := NewChan[int](e, 1)
+		e.Spawn(name, func(p *Proc) {
+			ch.Recv(p)
+		})
+	}
+	err = g.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("Group.Run = %v, want DeadlockError", err)
+	}
+	joined := strings.Join(d.Parked, "; ")
+	if !strings.Contains(joined, "waiter-a") || !strings.Contains(joined, "waiter-b") {
+		t.Fatalf("aggregated parked list %q missing a waiter", joined)
+	}
+}
